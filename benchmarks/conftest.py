@@ -1,0 +1,31 @@
+"""Benchmark helpers.
+
+Every benchmark regenerates one of the paper's tables/figures end-to-end
+(workload generation, simulation sweep, aggregation) exactly once —
+``benchmark.pedantic(rounds=1)`` — because a sweep is minutes, not
+microseconds, and its interesting output is the table itself, which is
+printed and attached to ``benchmark.extra_info``.
+
+Run with ``pytest benchmarks/ --benchmark-only``.  Set ``REPRO_FAST=1``
+(or ``REPRO_GRAPHS``/``REPRO_THREADS``) to shrink the sweeps.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark, capsys):
+    """Run fn() once under the benchmark clock; print + record its output."""
+
+    def _run(fn, describe=None):
+        result = benchmark.pedantic(fn, rounds=1, iterations=1)
+        if describe is not None:
+            text = describe(result)
+            with capsys.disabled():
+                print()
+                print(text)
+            benchmark.extra_info["result"] = text.splitlines()[:40]
+        return result
+
+    return _run
+

@@ -1,0 +1,16 @@
+"""Table I — properties of the test graphs."""
+
+import pytest
+
+from repro.experiments.table1 import format_table1, table1_rows
+
+
+def test_table1(run_once):
+    rows = run_once(lambda: table1_rows(), describe=lambda _: format_table1())
+    assert len(rows) == 7
+    # the paper's headline structural facts hold at scale
+    by_name = {r[0]: r for r in rows}
+    assert by_name["pwtk"][9] == max(r[9] for r in rows)       # deepest BFS
+    assert by_name["auto"][7] == min(r[7] for r in rows)       # fewest colours
+    for r in rows:
+        assert r[9] == pytest.approx(r[10], rel=0.08)          # levels ~ paper

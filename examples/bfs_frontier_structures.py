@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""BFS frontier data structures: block queue vs TLS queues vs pennant bag.
+
+Runs the paper's §IV-C comparison on one graph, validates every variant
+against the sequential oracle, prints the speedup table next to the
+§III-C analytic model, and demos the pennant-bag API directly.
+
+Run:  python examples/bfs_frontier_structures.py
+"""
+
+import numpy as np
+
+from repro import KNF, bfs_model_speedup, bfs_sequential
+from repro.experiments.report import format_rows
+from repro.graph import tube_mesh
+from repro.kernels.bfs import Bag, frontier_profile, simulate_bfs
+
+VARIANTS = [
+    ("OpenMP-Block-relaxed", "openmp-block", True),
+    ("OpenMP-Block (locked)", "openmp-block", False),
+    ("TBB-Block-relaxed", "tbb-block", True),
+    ("OpenMP-TLS (SNAP)", "openmp-tls", False),
+    ("CilkPlus-Bag-relaxed", "cilk-bag", True),
+]
+
+
+def main():
+    # a deep tube, like the paper's pwtk outlier
+    graph = tube_mesh(20_000, section=80, clique=14, cliques_per_vertex=1.0,
+                      coupling=5, seed=3, name="bfs-demo")
+    source = graph.n_vertices // 2
+    ref = bfs_sequential(graph, source)
+    widths = frontier_profile(graph, source)
+    print(f"graph: {graph.n_vertices} vertices, {len(widths)} BFS levels, "
+          f"mean level width {widths.mean():.0f}\n")
+
+    threads = [1, 13, 31, 121]
+    block = 8
+    rows = []
+    baseline = None
+    for label, variant, relaxed in VARIANTS:
+        cycles = {}
+        for t in threads:
+            run = simulate_bfs(graph, t, variant=variant, relaxed=relaxed,
+                               block=block, config=KNF, cache_scale=0.1,
+                               seed=1)
+            assert np.array_equal(run.dist, ref), f"{label} mislabelled BFS!"
+            cycles[t] = run.total_cycles
+        if baseline is None or cycles[1] < baseline:
+            baseline = cycles[1]
+        rows.append((label, cycles))
+    model_row = tuple(["Model (paper III-C)"] +
+                      [bfs_model_speedup(widths, t, block) /
+                       max(1e-9, bfs_model_speedup(widths, 1, block))
+                       for t in threads])
+    table = [model_row] + [
+        tuple([label] + [baseline / c[t] for t in threads])
+        for label, c in rows
+    ]
+    print(format_rows(["variant"] + [f"{t}t" for t in threads], table))
+    print("\nall five variants produced the exact sequential labelling;")
+    print("the relaxed block queue tracks the model, the bag does not "
+          "(allocations + reducer merges).\n")
+
+    # the pennant bag as a standalone data structure
+    bag = Bag(grain=16)
+    for v in range(1000):
+        bag.insert(v)
+    half = bag.split()
+    print(f"pennant bag demo: inserted 1000, split into {len(bag)} + "
+          f"{len(half)}; {bag.allocations} node allocations so far")
+    bag.union(half)
+    bag.check_invariants()
+    print(f"after union: {len(bag)} elements, invariants hold")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Scaling study: how a graph kernel scales on the simulated Intel MIC.
+
+Reproduces the paper's §V methodology on any graph you point it at —
+sweep the thread count, compare natural vs. shuffled vertex ordering, and
+report where SMT starts to pay (the paper's headline result is that
+memory-bound kernels keep scaling all the way to 4 threads/core).
+
+Run:  python examples/mic_scaling_study.py [vertices]
+"""
+
+import sys
+
+from repro import KNF
+from repro.experiments.report import format_rows
+from repro.graph import apply_ordering, tube_mesh
+from repro.kernels.coloring.parallel import parallel_coloring
+from repro.models import saturation_threads
+from repro.runtime import ProgrammingModel, RuntimeSpec, Schedule
+
+
+def sweep(graph, threads, cache_scale):
+    spec = RuntimeSpec(ProgrammingModel.OPENMP, schedule=Schedule.DYNAMIC,
+                       chunk=16)
+    cycles = {t: parallel_coloring(graph, t, spec, KNF,
+                                   cache_scale=cache_scale).total_cycles
+              for t in threads}
+    return [cycles[1] / cycles[t] for t in threads]
+
+
+def main():
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 24_000
+    graph = tube_mesh(n, section=n // 160, clique=14, cliques_per_vertex=1.0,
+                      coupling=5, seed=1, name="study")
+    shuffled = apply_ordering(graph, "random", seed=1)
+    cache_scale = 0.1
+    threads = [1, 11, 31, 61, 91, 121]
+
+    print(f"colouring scaling study on {graph.n_vertices} vertices / "
+          f"{graph.n_edges} edges (KNF: {KNF.n_cores} cores x "
+          f"{KNF.smt_per_core} SMT)\n")
+
+    natural = sweep(graph, threads, cache_scale)
+    random_ = sweep(shuffled, threads, cache_scale)
+
+    rows = [(t, nat, rnd) for t, nat, rnd in zip(threads, natural, random_)]
+    print(format_rows(["threads", "natural order", "shuffled"], rows))
+
+    print("\nreading the table the paper's way:")
+    print(f"  - both orderings scale past the {KNF.n_cores} cores: "
+          "SMT is hiding memory latency;")
+    ratio = random_[-1] / threads[-1]
+    print(f"  - shuffled speedup at {threads[-1]} threads is "
+          f"{ratio:.2f}x the thread count "
+          f"({'super' if ratio > 1 else 'sub'}-linear): destroying "
+          "locality makes the kernel memory-bound, which SMT + the chip's "
+          "aggregate cache absorb;")
+    # a rough analytic estimate of where the issue pipeline would saturate
+    sat = saturation_threads(400.0, 550.0, KNF)
+    print(f"  - the SMT roofline model puts issue saturation around "
+          f"{sat:.0f} threads for a kernel with this compute/stall mix.")
+
+
+if __name__ == "__main__":
+    main()

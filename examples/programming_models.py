@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Compare the three programming models on one kernel, the paper's way.
+
+OpenMP, Cilk Plus and TBB run the same iterative parallel colouring; the
+differences you see are pure runtime-system effects — scheduling policy,
+work-stealing distribution, thread-local-storage access, loop-body
+outlining — which is exactly the comparison of the paper's Figure 1.
+
+Run:  python examples/programming_models.py
+"""
+
+from repro import KNF
+from repro.experiments.report import format_rows
+from repro.graph import tube_mesh
+from repro.kernels.coloring.parallel import parallel_coloring
+from repro.runtime import (Partitioner, ProgrammingModel, RuntimeSpec,
+                           Schedule, TlsMode)
+
+VARIANTS = {
+    "OpenMP static": RuntimeSpec(ProgrammingModel.OPENMP,
+                                 schedule=Schedule.STATIC, chunk=8),
+    "OpenMP dynamic": RuntimeSpec(ProgrammingModel.OPENMP,
+                                  schedule=Schedule.DYNAMIC, chunk=16),
+    "OpenMP guided": RuntimeSpec(ProgrammingModel.OPENMP,
+                                 schedule=Schedule.GUIDED, chunk=16),
+    "Cilk Plus (holder)": RuntimeSpec(ProgrammingModel.CILK,
+                                      tls_mode=TlsMode.HOLDER, chunk=16),
+    "Cilk Plus (worker id)": RuntimeSpec(ProgrammingModel.CILK,
+                                         tls_mode=TlsMode.WORKER_ID, chunk=16),
+    "TBB simple": RuntimeSpec(ProgrammingModel.TBB,
+                              partitioner=Partitioner.SIMPLE, chunk=8),
+    "TBB auto": RuntimeSpec(ProgrammingModel.TBB,
+                            partitioner=Partitioner.AUTO, chunk=8),
+    "TBB affinity": RuntimeSpec(ProgrammingModel.TBB,
+                                partitioner=Partitioner.AFFINITY, chunk=8),
+}
+
+
+def main():
+    graph = tube_mesh(24_000, section=150, clique=14, cliques_per_vertex=1.0,
+                      coupling=5, seed=2, name="models-demo")
+    threads = [1, 31, 121]
+    cache_scale = 0.1
+
+    cycles = {}
+    for name, spec in VARIANTS.items():
+        for t in threads:
+            run = parallel_coloring(graph, t, spec, KNF,
+                                    cache_scale=cache_scale, seed=1)
+            cycles[(name, t)] = run.total_cycles
+
+    # the paper's baseline: the fastest 1-thread configuration
+    baseline = min(cycles[(name, 1)] for name in VARIANTS)
+    rows = []
+    for name in VARIANTS:
+        rows.append(tuple([name] + [baseline / cycles[(name, t)]
+                                    for t in threads]))
+    print(f"colouring speedups on simulated KNF "
+          f"({graph.n_vertices} vertices, baseline = fastest 1-thread run)\n")
+    print(format_rows(["variant"] + [f"{t}t" for t in threads], rows))
+    print("\nwhat to look for (paper §V-B):")
+    print("  - OpenMP leads: raw pointers into pre-allocated scratch,"
+          " straight-line loop body;")
+    print("  - TBB's simple partitioner beats auto/affinity at scale;")
+    print("  - Cilk trails: per-access view lookups and the outlined loop"
+          " body consume issue slots that SMT multiplies.")
+
+
+if __name__ == "__main__":
+    main()

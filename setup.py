@@ -1,0 +1,3 @@
+# legacy develop install (no wheel package available offline)
+from setuptools import setup
+setup()

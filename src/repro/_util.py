@@ -1,0 +1,38 @@
+"""Small shared helpers: seeded RNG construction and argument validation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["rng_from_seed", "check_positive", "check_nonnegative", "as_int_array"]
+
+
+def rng_from_seed(seed) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for *seed*.
+
+    Accepts ``None`` (non-deterministic), an ``int``, or an existing
+    ``Generator`` (returned unchanged so callers can thread RNG state).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def check_positive(name: str, value) -> None:
+    """Raise :class:`ValueError` unless ``value > 0``."""
+    if not value > 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+
+
+def check_nonnegative(name: str, value) -> None:
+    """Raise :class:`ValueError` unless ``value >= 0``."""
+    if not value >= 0:
+        raise ValueError(f"{name} must be non-negative, got {value!r}")
+
+
+def as_int_array(values, name: str = "values") -> np.ndarray:
+    """Coerce *values* to a 1-D int64 array, validating shape."""
+    arr = np.asarray(values, dtype=np.int64)
+    if arr.ndim != 1:
+        raise ValueError(f"{name} must be one-dimensional, got shape {arr.shape}")
+    return arr

@@ -1,0 +1,32 @@
+"""Applications built on the kernel substrate — the workloads the paper's
+introduction motivates: PageRank and heat diffusion (the irregular
+kernel's archetypes, §III-B), betweenness centrality (the BFS-based
+"computationally expensive centrality measures", §I), and task-graph
+phase scheduling (the colouring application that opens §I)."""
+
+from repro.apps.pagerank import pagerank, simulate_pagerank, PageRankResult
+from repro.apps.heat import heat_diffusion, HeatResult
+from repro.apps.betweenness import (
+    betweenness_centrality,
+    simulate_betweenness,
+    BetweennessResult,
+)
+from repro.apps.task_scheduling import (
+    phase_schedule,
+    schedule_makespan,
+    PhaseSchedule,
+)
+
+__all__ = [
+    "pagerank",
+    "simulate_pagerank",
+    "PageRankResult",
+    "heat_diffusion",
+    "HeatResult",
+    "betweenness_centrality",
+    "simulate_betweenness",
+    "BetweennessResult",
+    "phase_schedule",
+    "schedule_makespan",
+    "PhaseSchedule",
+]

@@ -1,0 +1,78 @@
+"""Task-graph phase scheduling via graph colouring.
+
+The paper's §I opens with this application: "represent the tasks of a
+computation as the vertices of a graph, and an edge connects two vertices
+if these two vertices cannot be computed simultaneously.  Finding a
+coloring of this graph allows to partition the tasks into sets that can
+be safely computed in parallel.  Minimizing the number of colors
+decreases the number of synchronization points."
+
+:func:`phase_schedule` turns a colouring into an executable phase plan;
+:func:`schedule_makespan` evaluates it on ``t`` workers (each phase ends
+with a barrier, so fewer colours = fewer synchronisation points).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._util import check_positive
+from repro.graph.csr import CSRGraph
+
+__all__ = ["phase_schedule", "schedule_makespan", "PhaseSchedule"]
+
+
+@dataclass(frozen=True)
+class PhaseSchedule:
+    """Tasks grouped into conflict-free phases (one per colour)."""
+
+    phases: tuple
+    n_tasks: int
+
+    @property
+    def n_phases(self) -> int:
+        """Number of phases (= colours used)."""
+        return len(self.phases)
+
+    @property
+    def n_synchronizations(self) -> int:
+        """Barriers between phases — what minimising colours minimises."""
+        return max(0, self.n_phases - 1)
+
+
+def phase_schedule(conflict_graph: CSRGraph, colors=None) -> PhaseSchedule:
+    """Build a phase schedule from a colouring of the conflict graph.
+
+    Without an explicit colouring, the sequential greedy one is used.
+    Raises if the supplied colouring is not a proper colouring (a phase
+    would contain conflicting tasks).
+    """
+    from repro.kernels.coloring.sequential import greedy_coloring
+    from repro.kernels.coloring.verify import verify_coloring
+
+    n = conflict_graph.n_vertices
+    if colors is None:
+        _, colors = greedy_coloring(conflict_graph)
+    colors = np.asarray(colors)
+    if n and not verify_coloring(conflict_graph, colors):
+        raise ValueError("colors is not a proper colouring of the conflict graph")
+    phases = tuple(np.nonzero(colors == c)[0]
+                   for c in range(1, int(colors.max()) + 1 if n else 1))
+    return PhaseSchedule(phases=phases, n_tasks=n)
+
+
+def schedule_makespan(schedule: PhaseSchedule, n_workers: int,
+                      task_cost: float = 1.0,
+                      barrier_cost: float = 0.0) -> float:
+    """Makespan of the phase plan on *n_workers* identical workers.
+
+    Each phase runs its (independent) tasks in ``ceil(len/workers)``
+    rounds; a barrier separates consecutive phases.
+    """
+    check_positive("n_workers", n_workers)
+    if task_cost < 0 or barrier_cost < 0:
+        raise ValueError("costs must be non-negative")
+    rounds = sum(-(-len(p) // n_workers) for p in schedule.phases)
+    return rounds * task_cost + schedule.n_synchronizations * barrier_cost

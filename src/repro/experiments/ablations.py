@@ -1,0 +1,124 @@
+"""Ablation studies beyond the paper's figures (DESIGN.md §4).
+
+Each ablation isolates one design choice the paper discusses:
+
+* **block size** — the BFS block-queue tradeoff ("keeping the block size
+  small, but not so small that we do not use atomics too often", §IV-C);
+* **relaxed vs. locked** — the benign-race queue relaxation (§V-D:
+  "relaxed queue variants led to consistently better speedup");
+* **SMT** — the headline claim: without SMT contexts the memory-bound
+  kernels stop scaling past the core count (§VI);
+* **aggregate cache** — disable the chip-residency benefit (remote hits
+  priced as DRAM): the super-linear Figure 2 speedup collapses to ≤ t;
+* **memory bandwidth** — shrink the DRAM channel until the linear
+  coloring scaling breaks (the saturation the KNF prototype avoided).
+"""
+
+from __future__ import annotations
+
+from functools import partial
+
+from repro.experiments.fig1_coloring import COLORING_VARIANTS, coloring_cycles
+from repro.experiments.fig4_bfs import bfs_cycles, run_fig4_panel
+from repro.experiments.harness import PanelResult, run_panel, scale_of
+from repro.graph.suite import suite_graph
+from repro.kernels.bfs.layered import simulate_bfs
+from repro.kernels.coloring.parallel import parallel_coloring
+from repro.machine.config import KNF
+
+__all__ = ["run_block_size_ablation", "run_relaxed_ablation",
+           "run_smt_ablation", "run_cache_ablation",
+           "run_bandwidth_ablation", "run_all_ablations"]
+
+
+def run_block_size_ablation(graphs=None, threads=None) -> PanelResult:
+    """BFS speedup vs. queue block size (OpenMP-Block-relaxed)."""
+    graphs = graphs or ["pwtk", "inline_1"]
+
+    def runner(g, variant, t):
+        block = int(variant.split("=")[1])
+        return bfs_cycles(g, "OpenMP-Block-relaxed", t, block=block)
+
+    variants = [f"b={b}" for b in (8, 16, 32, 64, 128)]
+    return run_panel("Ablation: BFS block size (OpenMP-Block-relaxed)",
+                     runner, variants, graphs=graphs, threads=threads,
+                     per_variant_baseline=False)
+
+
+def run_relaxed_ablation(graphs=None, threads=None) -> PanelResult:
+    """Relaxed vs. locked queue insertion across BFS variants."""
+    return run_fig4_panel(
+        "Ablation: relaxed vs locked queues (BFS, Intel MIC)",
+        ["OpenMP-Block-relaxed", "OpenMP-Block"],
+        graphs or ["pwtk", "inline_1", "ldoor"], KNF, threads=threads)
+
+
+def run_smt_ablation(graphs=None, threads=None) -> PanelResult:
+    """Coloring on shuffled graphs with 1-way vs. 4-way SMT cores."""
+    graphs = graphs or ["hood", "msdoor"]
+    no_smt = KNF.with_(name="KNF-noSMT", smt_per_core=1)
+
+    def runner(g, variant, t):
+        config = KNF if variant.endswith("4-way") else no_smt
+        if t > config.max_threads:
+            t = config.max_threads
+        graph = suite_graph(g)
+        run = parallel_coloring(graph, t, COLORING_VARIANTS["OpenMP-dynamic"],
+                                config=config, cache_scale=scale_of(g))
+        return run.total_cycles
+
+    return run_panel("Ablation: SMT on/off (coloring, natural order)",
+                     runner, ["SMT 4-way", "SMT 1-way"], graphs=graphs,
+                     threads=threads, per_variant_baseline=True)
+
+
+def run_cache_ablation(graphs=None, threads=None) -> PanelResult:
+    """Shuffled coloring with and without the aggregate-cache benefit."""
+    graphs = graphs or ["hood", "msdoor"]
+    no_agg = KNF.with_(name="KNF-noAggCache",
+                       remote_hit_cycles=KNF.dram_cycles)
+
+    def runner(g, variant, t):
+        config = KNF if variant == "with chip cache" else no_agg
+        return coloring_cycles(g, "OpenMP-dynamic", t, ordering="random",
+                               config=config)
+
+    return run_panel(
+        "Ablation: aggregate-cache residency (coloring, shuffled)",
+        runner, ["with chip cache", "without chip cache"], graphs=graphs,
+        threads=threads, per_variant_baseline=True)
+
+
+def run_bandwidth_ablation(graphs=None, threads=None) -> PanelResult:
+    """Shuffled coloring under progressively narrower DRAM channels.
+
+    Caches are shrunk to almost nothing so every access actually reaches
+    DRAM (on the stock KNF the chip's aggregate cache absorbs the random
+    traffic — remote hits consume no channel bandwidth — which is exactly
+    why the real prototype's memory subsystem "scales well").
+    """
+    graphs = graphs or ["hood"]
+
+    def runner(g, variant, t):
+        banks = int(variant.split("=")[1])
+        config = KNF.with_(name=f"KNF-{banks}banks", mem_banks=banks,
+                           cache_lines_per_core=8,
+                           dram_transfer_cycles=8.0)
+        return coloring_cycles(g, "OpenMP-dynamic", t, ordering="random",
+                               config=config)
+
+    variants = [f"banks={b}" for b in (16, 4, 1)]
+    return run_panel("Ablation: DRAM bandwidth (coloring, shuffled)",
+                     runner, variants, graphs=graphs, threads=threads,
+                     per_variant_baseline=True)
+
+
+def run_all_ablations(graphs=None, threads=None) -> dict[str, PanelResult]:
+    """Run every ablation; returns panels keyed by short name."""
+    return {
+        "block_size": run_block_size_ablation(threads=threads),
+        "relaxed": run_relaxed_ablation(threads=threads),
+        "smt": run_smt_ablation(threads=threads),
+        "cache": run_cache_ablation(threads=threads),
+        "bandwidth": run_bandwidth_ablation(threads=threads),
+    }

@@ -1,0 +1,80 @@
+"""Command-line entry point: ``repro-experiments <what>``.
+
+Regenerates the paper's tables and figures as ASCII tables, e.g.::
+
+    repro-experiments table1
+    repro-experiments fig1 --fast
+    repro-experiments all
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+__all__ = ["main"]
+
+_CHOICES = ["table1", "fig1", "fig2", "fig3", "fig4", "ablations",
+            "chunk-sweep", "all"]
+
+
+def main(argv=None) -> int:
+    """Entry point for ``repro-experiments`` (returns the exit code)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the paper's tables and figures on the "
+                    "simulated Intel MIC machine.")
+    parser.add_argument("what", choices=_CHOICES, help="experiment to run")
+    parser.add_argument("--fast", action="store_true",
+                        help="subset of graphs/thread counts (sets REPRO_FAST)")
+    parser.add_argument("--graphs", default=None,
+                        help="comma-separated suite graph names")
+    parser.add_argument("--threads", default=None,
+                        help="comma-separated thread counts")
+    args = parser.parse_args(argv)
+
+    if args.fast:
+        os.environ["REPRO_FAST"] = "1"
+    if args.graphs:
+        os.environ["REPRO_GRAPHS"] = args.graphs
+    if args.threads:
+        os.environ["REPRO_THREADS"] = args.threads
+
+    from repro.experiments.report import print_panel
+    from repro.experiments.table1 import run_table1
+
+    t0 = time.time()
+    what = args.what
+    if what in ("table1", "all"):
+        run_table1()
+        print()
+    if what in ("fig1", "all"):
+        from repro.experiments.fig1_coloring import run_fig1
+        for panel in run_fig1().values():
+            print_panel(panel)
+    if what in ("fig2", "all"):
+        from repro.experiments.fig2_shuffled import run_fig2
+        print_panel(run_fig2())
+    if what in ("fig3", "all"):
+        from repro.experiments.fig3_irregular import run_fig3
+        for panel in run_fig3().values():
+            print_panel(panel)
+    if what in ("fig4", "all"):
+        from repro.experiments.fig4_bfs import run_fig4
+        for panel in run_fig4().values():
+            print_panel(panel)
+    if what == "chunk-sweep":
+        from repro.experiments.chunk_sweep import run_chunk_sweep
+        print_panel(run_chunk_sweep())
+    if what in ("ablations", "all"):
+        from repro.experiments.ablations import run_all_ablations
+        for panel in run_all_ablations().values():
+            print_panel(panel)
+    print(f"[done in {time.time() - t0:.1f}s]", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

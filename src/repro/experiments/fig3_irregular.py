@@ -1,0 +1,91 @@
+"""Figure 3 — speedup of the irregular-computation microbenchmark, one
+panel per programming model, one series per iteration count (1, 3, 5, 10).
+
+Paper outcomes (§V-C): OpenMP and TBB speedups *decrease* as the
+computation grows (the FPU/issue pipeline saturates, so SMT helps less);
+Cilk Plus *increases* (more work amortises its scheduling overhead); at
+10 iterations all three models converge, topping out at ~49 on 121
+threads vs. ~46 on 61.  Speedups are computed relative to the 1-thread
+run of the same iteration count.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.harness import PanelResult, scale_of
+from repro.graph.suite import suite_graph
+from repro.kernels.irregular import simulate_irregular
+from repro.machine.config import KNF
+from repro.runtime.base import (Partitioner, ProgrammingModel, RuntimeSpec,
+                                Schedule, TlsMode)
+
+__all__ = ["IRREGULAR_MODELS", "ITERATION_COUNTS", "irregular_cycles",
+           "run_fig3"]
+
+#: Best-performing runtime configuration per model (§V-C: OpenMP dynamic,
+#: TBB simple).
+IRREGULAR_MODELS: dict[str, RuntimeSpec] = {
+    "OpenMP": RuntimeSpec(ProgrammingModel.OPENMP, schedule=Schedule.DYNAMIC,
+                          chunk=13),
+    "CilkPlus": RuntimeSpec(ProgrammingModel.CILK, tls_mode=TlsMode.HOLDER,
+                            chunk=13),
+    "TBB": RuntimeSpec(ProgrammingModel.TBB, partitioner=Partitioner.SIMPLE,
+                       chunk=13),
+}
+
+ITERATION_COUNTS = [1, 3, 5, 10]
+
+
+def irregular_cycles(graph_name: str, variant: str, n_threads: int,
+                     model: str = "OpenMP", config=KNF, seed: int = 0) -> float:
+    """Panel runner; *variant* is the iteration count rendered as a label."""
+    iterations = int(variant.split()[0])
+    run = simulate_irregular(suite_graph(graph_name), n_threads,
+                             iterations=iterations,
+                             spec=IRREGULAR_MODELS[model], config=config,
+                             cache_scale=scale_of(graph_name), seed=seed)
+    return run.total_cycles
+
+
+def run_fig3(graphs=None, threads=None) -> dict[str, PanelResult]:
+    """Regenerate all three Figure 3 panels.
+
+    Speedups are "computed relatively to the same number of iterations"
+    (§V-C): for each (graph, iteration count) the baseline is the fastest
+    1-thread run across the three models, shared by all three panels.
+    """
+    from repro.experiments.harness import geomean, panel_graphs, panel_threads
+
+    graphs = graphs if graphs is not None else panel_graphs()
+    threads = threads if threads is not None else panel_threads()
+    if 1 not in threads:
+        threads = [1] + list(threads)
+
+    cycles = {}
+    for model in IRREGULAR_MODELS:
+        for g in graphs:
+            for it in ITERATION_COUNTS:
+                for t in threads:
+                    cycles[(model, g, it, t)] = irregular_cycles(
+                        g, f"{it} x", t, model=model)
+    baseline = {(g, it): min(cycles[(m, g, it, 1)] for m in IRREGULAR_MODELS)
+                for g in graphs for it in ITERATION_COUNTS}
+
+    out = {}
+    for model in IRREGULAR_MODELS:
+        title = f"Fig 3: irregular computation speedup, {model}"
+        panel = PanelResult(title=title, thread_counts=list(threads))
+        for it in ITERATION_COUNTS:
+            label = f"{it} iteration{'s' if it > 1 else ''}"
+            per_graph = []
+            for g in graphs:
+                s = np.asarray([baseline[(g, it)] / cycles[(model, g, it, t)]
+                                for t in threads])
+                panel.per_graph[(label, g)] = s
+                per_graph.append(s)
+            stacked = np.stack(per_graph)
+            panel.series[label] = np.asarray(
+                [geomean(stacked[:, i]) for i in range(len(threads))])
+        out[title] = panel
+    return out

@@ -1,0 +1,172 @@
+"""Experiment harness: thread sweeps, baselines, and aggregation.
+
+Follows the paper's §V-A methodology:
+
+* MIC sweeps run 1..121 threads in steps of 10 (``THREADS_MIC``); host
+  sweeps run 1..24 (``THREADS_HOST``).
+* The speedup baseline for a graph is *the configuration that performs
+  the fastest on 1 thread for that graph* within the figure's variant
+  set.
+* Speedups over multiple graphs are aggregated with the geometric mean.
+
+Environment knobs (picked up by the benchmark suite so a laptop run can
+be shortened): ``REPRO_GRAPHS`` — comma-separated subset of suite names;
+``REPRO_THREADS`` — comma-separated thread counts; ``REPRO_FAST=1`` —
+three graphs, five thread counts.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Callable
+
+import numpy as np
+
+from repro.graph.reorder import apply_ordering
+from repro.graph.suite import SUITE, suite_graph, suite_scale
+
+__all__ = ["THREADS_MIC", "THREADS_HOST", "PanelResult", "run_panel",
+           "panel_graphs", "panel_threads", "ordered_suite_graph", "geomean"]
+
+#: The paper's MIC thread sweep: "1 to 121 by increment of 10" (§V-B).
+THREADS_MIC = [1] + list(range(11, 122, 10))
+#: Host sweep: the dual X5680 exposes 24 hardware threads (Fig. 4d).
+THREADS_HOST = [1, 2, 4, 6, 8, 10, 12, 14, 16, 18, 20, 22, 23, 24]
+
+_FAST_GRAPHS = ["auto", "inline_1", "pwtk"]
+_FAST_THREADS_MIC = [1, 11, 31, 61, 121]
+_FAST_THREADS_HOST = [1, 4, 8, 12, 16, 24]
+
+
+def panel_graphs() -> list[str]:
+    """Suite graphs to sweep (honours REPRO_GRAPHS / REPRO_FAST)."""
+    env = os.environ.get("REPRO_GRAPHS")
+    if env:
+        names = [g.strip() for g in env.split(",") if g.strip()]
+        unknown = [g for g in names if g not in SUITE]
+        if unknown:
+            raise ValueError(f"REPRO_GRAPHS contains unknown graphs {unknown}")
+        return names
+    if os.environ.get("REPRO_FAST"):
+        return list(_FAST_GRAPHS)
+    return list(SUITE)
+
+
+def panel_threads(host: bool = False) -> list[int]:
+    """Thread sweep to use (honours REPRO_THREADS / REPRO_FAST)."""
+    env = os.environ.get("REPRO_THREADS")
+    if env:
+        return sorted({int(x) for x in env.split(",") if x.strip()})
+    if os.environ.get("REPRO_FAST"):
+        return list(_FAST_THREADS_HOST if host else _FAST_THREADS_MIC)
+    return list(THREADS_HOST if host else THREADS_MIC)
+
+
+@lru_cache(maxsize=64)
+def ordered_suite_graph(name: str, ordering: str, seed: int = 5):
+    """Suite graph under the given vertex ordering (memoised)."""
+    return apply_ordering(suite_graph(name), ordering, seed=seed)
+
+
+def geomean(values) -> float:
+    """Geometric mean (0 if any value is non-positive)."""
+    v = np.asarray(values, dtype=np.float64)
+    if len(v) == 0 or np.any(v <= 0):
+        return 0.0
+    return float(np.exp(np.log(v).mean()))
+
+
+@dataclass
+class PanelResult:
+    """One figure panel: speedup series per variant over a thread sweep."""
+
+    title: str
+    thread_counts: list[int]
+    series: dict = field(default_factory=dict)        # label -> np.ndarray
+    per_graph: dict = field(default_factory=dict)     # (label, graph) -> array
+    baselines: dict = field(default_factory=dict)     # graph -> cycles at t=1
+    notes: str = ""
+
+    def best(self, label: str) -> tuple[int, float]:
+        """(thread count, value) of the series' peak speedup."""
+        s = self.series[label]
+        i = int(np.argmax(s))
+        return self.thread_counts[i], float(s[i])
+
+    def at(self, label: str, n_threads: int) -> float:
+        """Speedup of *label* at a specific thread count."""
+        return float(self.series[label][self.thread_counts.index(n_threads)])
+
+
+def run_panel(
+    title: str,
+    runner: Callable[[str, str, int], float],
+    variants: list[str],
+    graphs: list[str] | None = None,
+    threads: list[int] | None = None,
+    baseline_variants: list[str] | None = None,
+    per_variant_baseline: bool = False,
+) -> PanelResult:
+    """Sweep ``runner(graph, variant, threads) -> cycles`` over a panel.
+
+    The per-graph baseline is the fastest 1-thread cycles over
+    ``baseline_variants`` (default: all *variants*), per the paper's
+    methodology; the panel series are geometric means over graphs.  With
+    ``per_variant_baseline`` each variant is normalised by its own
+    1-thread run instead (Figure 3 compares iteration counts this way:
+    "the speedup are computed relatively to the same number of
+    iterations").
+    """
+    graphs = graphs if graphs is not None else panel_graphs()
+    threads = threads if threads is not None else panel_threads()
+    baseline_variants = baseline_variants or variants
+    if 1 not in threads:
+        threads = [1] + list(threads)
+
+    cycles: dict[tuple[str, str, int], float] = {}
+    for g in graphs:
+        for v in variants:
+            for t in threads:
+                cycles[(g, v, t)] = runner(g, v, t)
+
+    result = PanelResult(title=title, thread_counts=list(threads))
+    for g in graphs:
+        result.baselines[g] = min(cycles[(g, v, 1)] for v in baseline_variants)
+    for v in variants:
+        per_graph_speedups = []
+        for g in graphs:
+            base = cycles[(g, v, 1)] if per_variant_baseline \
+                else result.baselines[g]
+            s = np.asarray([base / cycles[(g, v, t)] for t in threads])
+            result.per_graph[(v, g)] = s
+            per_graph_speedups.append(s)
+        stacked = np.stack(per_graph_speedups)
+        result.series[v] = np.asarray(
+            [geomean(stacked[:, i]) for i in range(len(threads))])
+    return result
+
+
+def repeat_average(fn: Callable[[int], float], runs: int = 10,
+                   keep_last: int = 5, seed0: int = 0) -> float:
+    """The paper's §V-A repetition protocol: "10 runs are performed, we
+    report the average of the last 5 runs" (the first runs warm the
+    runtime up; in the simulation they vary only through scheduler
+    randomness, so this averages out steal-order noise).
+
+    ``fn(seed) -> cycles``.
+    """
+    if runs < 1 or not 1 <= keep_last <= runs:
+        raise ValueError(f"need 1 <= keep_last <= runs, got {keep_last}/{runs}")
+    values = [fn(seed0 + i) for i in range(runs)]
+    tail = values[-keep_last:]
+    return float(np.mean(tail))
+
+
+def scale_of(name: str) -> float:
+    """Cache scale for a suite graph (1.0 for non-suite graphs)."""
+    try:
+        return suite_scale(name)
+    except KeyError:
+        return 1.0

@@ -1,0 +1,48 @@
+"""Table I — properties of the test graphs (scaled suite vs. paper)."""
+
+from __future__ import annotations
+
+from repro.experiments.report import format_rows
+from repro.graph.properties import graph_properties
+from repro.graph.suite import PAPER_TABLE1, SUITE, suite_graph
+
+__all__ = ["table1_rows", "format_table1", "run_table1"]
+
+
+def table1_rows() -> list[tuple]:
+    """One row per suite graph: measured properties next to paper targets."""
+    rows = []
+    for name in SUITE:
+        props = graph_properties(suite_graph(name))
+        pv, pe, pd, pc, pl = PAPER_TABLE1[name]
+        rows.append((
+            name,
+            props.n_vertices, _k(pv),
+            props.n_edges, _k(pe),
+            props.max_degree, pd,
+            props.n_colors, pc,
+            props.n_bfs_levels, pl,
+        ))
+    return rows
+
+
+def _k(v: int) -> str:
+    if v >= 1_000_000:
+        return f"{v / 1e6:.1f}M"
+    return f"{v // 1000}K"
+
+
+def format_table1() -> str:
+    """Table I as aligned text, measured values beside paper targets."""
+    headers = ["name", "|V|", "paper|V|", "|E|", "paper|E|",
+               "Δ", "paperΔ", "#Color", "paper#C", "#Level", "paper#L"]
+    return ("== Table I: properties of the test graphs "
+            "(measured suite vs. paper) ==\n"
+            + format_rows(headers, table1_rows()))
+
+
+def run_table1() -> str:
+    """Print and return Table I."""
+    out = format_table1()
+    print(out)
+    return out

@@ -1,0 +1,295 @@
+"""Synthetic graph generators.
+
+The paper evaluates on seven finite-element / structural matrices from the
+UF Sparse Matrix Collection.  Those files are not available offline, so
+:func:`fem_mesh` generates structural analogs: overlapping element cliques
+laid out along a 1-D band, which reproduces the three properties the
+kernels are sensitive to —
+
+* **degree distribution** (``elem_size`` controls clique size, hence greedy
+  colour count; ``elems_per_vertex`` controls average degree; ``hubs``
+  inject the matrices' few very-high-degree rows),
+* **bandedness** (``window`` controls how far an element reaches, i.e. the
+  natural-ordering locality that the machine cache model prices), and
+* **BFS depth** (the band width sets how far a frontier advances per level,
+  so ``window`` also fixes the level count — ``pwtk``'s 267 levels come
+  from a narrow window).
+
+All generators are vectorised and deterministic given a seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util import check_positive, rng_from_seed
+from repro.graph.csr import CSRGraph
+
+__all__ = [
+    "fem_mesh",
+    "tube_mesh",
+    "grid2d",
+    "grid3d",
+    "erdos_renyi",
+    "rmat",
+    "chain",
+    "star",
+    "complete",
+    "random_regular_ish",
+]
+
+
+def fem_mesh(
+    n: int,
+    elem_size: int,
+    elems_per_vertex: float,
+    window: int,
+    hubs: int = 0,
+    hub_degree: int = 0,
+    seed=0,
+    name: str = "fem_mesh",
+) -> CSRGraph:
+    """Banded finite-element-style graph.
+
+    ``n * elems_per_vertex / elem_size`` cliques of ``elem_size`` vertices
+    are placed along the vertex line; each element draws its members from a
+    ``window``-wide interval around its centre.  A backbone chain
+    ``0-1-...-n-1`` guarantees connectivity (and mirrors the diagonal band
+    every FEM matrix has).  ``hubs`` vertices additionally connect to
+    ``hub_degree`` vertices within three windows, mimicking the high-degree
+    rows (Δ up to 842 in ``inline_1``).
+    """
+    check_positive("n", n)
+    check_positive("elem_size", elem_size)
+    check_positive("elems_per_vertex", elems_per_vertex)
+    check_positive("window", window)
+    if elem_size > n:
+        raise ValueError(f"elem_size {elem_size} exceeds n {n}")
+    rng = rng_from_seed(seed)
+
+    n_elems = max(1, int(round(n * elems_per_vertex / elem_size)))
+    centers = np.linspace(0, n - 1, n_elems)
+    half = max(1, window // 2)
+    offsets = rng.integers(-half, half + 1, size=(n_elems, elem_size))
+    members = np.clip(centers[:, None] + offsets, 0, n - 1).astype(np.int64)
+    iu, iv = np.triu_indices(elem_size, k=1)
+    edges_u = members[:, iu].ravel()
+    edges_v = members[:, iv].ravel()
+
+    spine = np.arange(n - 1, dtype=np.int64)
+    edges_u = np.concatenate([edges_u, spine])
+    edges_v = np.concatenate([edges_v, spine + 1])
+
+    if hubs > 0 and hub_degree > 0:
+        hub_ids = rng.choice(n, size=hubs, replace=False).astype(np.int64)
+        reach = max(2, 3 * half)
+        spokes = rng.integers(-reach, reach + 1, size=(hubs, hub_degree))
+        targets = np.clip(hub_ids[:, None] + spokes, 0, n - 1).astype(np.int64)
+        edges_u = np.concatenate([edges_u, np.repeat(hub_ids, hub_degree)])
+        edges_v = np.concatenate([edges_v, targets.ravel()])
+
+    edges = np.stack([edges_u, edges_v], axis=1)
+    return CSRGraph.from_edges(n, edges, name=name)
+
+
+def tube_mesh(
+    n: int,
+    section: int,
+    clique: int,
+    cliques_per_vertex: float = 1.0,
+    coupling: int = 4,
+    coupling_window: int | None = None,
+    hubs: int = 0,
+    hub_degree: int = 0,
+    seed=0,
+    name: str = "tube_mesh",
+) -> CSRGraph:
+    """Extruded ("tube") finite-element mesh.
+
+    Vertices are numbered section by section: vertex ``sec * section + pos``.
+    Each section carries overlapping cliques of ``clique`` consecutive
+    vertices (``cliques_per_vertex`` coverage — this drives the greedy
+    colour count), and every vertex couples to ``coupling`` vertices at
+    aligned positions in the *next* section (this drives average degree and
+    limits a BFS frontier to one section per level, so the level count is
+    ``≈ n / section``).  This is the structure of the paper's long, narrow
+    matrices — ``pwtk``, a wind-tunnel stiffness matrix with 267 BFS levels,
+    is exactly such a tube.
+    """
+    check_positive("n", n)
+    check_positive("section", section)
+    check_positive("clique", clique)
+    check_positive("cliques_per_vertex", cliques_per_vertex)
+    if clique > section:
+        raise ValueError(f"clique {clique} exceeds section {section}")
+    if section > n:
+        raise ValueError(f"section {section} exceeds n {n}")
+    rng = rng_from_seed(seed)
+
+    n_sections = -(-n // section)  # ceil: trailing partial section included
+    # Run start positions: a regular stride of clique/cliques_per_vertex so
+    # consecutive runs overlap deterministically (keeping every section
+    # internally connected through its cliques), plus a small jitter for
+    # irregularity.  Random placement would make intra-section connectivity
+    # a percolation accident and the BFS depth wildly unstable.
+    stride = max(1, int(round(clique / cliques_per_vertex)))
+    run_offsets = np.arange(0, max(1, section - clique + 1), stride, dtype=np.int64)
+    runs_per_section = len(run_offsets)
+    sec_base = (np.arange(n_sections, dtype=np.int64) * section)[:, None]
+    jitter_span = max(1, stride // 3)
+    jitter = rng.integers(-jitter_span, jitter_span + 1,
+                          size=(n_sections, runs_per_section))
+    starts = np.clip(sec_base + run_offsets[None, :] + jitter, sec_base,
+                     sec_base + max(0, section - clique))
+    starts = np.minimum(starts, max(0, n - clique))
+    starts = starts.reshape(-1, 1)
+    members = starts + np.arange(clique, dtype=np.int64)[None, :]
+    members = np.minimum(members, n - 1)
+    iu, iv = np.triu_indices(clique, k=1)
+    edges_u = members[:, iu].ravel()
+    edges_v = members[:, iv].ravel()
+
+    parts_u = [edges_u]
+    parts_v = [edges_v]
+
+    if coupling > 0 and n_sections > 1:
+        cw = coupling_window if coupling_window is not None else max(2, clique)
+        half = max(1, cw // 2)
+        v_ids = np.arange(min(n, (n_sections - 1) * section), dtype=np.int64)
+        offs = rng.integers(-half, half + 1, size=(len(v_ids), coupling))
+        pos = v_ids % section
+        tgt_pos = np.clip(pos[:, None] + offs, 0, section - 1)
+        tgt = (v_ids // section + 1)[:, None] * section + tgt_pos
+        src = np.repeat(v_ids, coupling)
+        tgt = tgt.ravel()
+        valid = tgt < n  # partial trailing section: drop, don't pile up
+        parts_u.append(src[valid])
+        parts_v.append(tgt[valid])
+
+    spine = np.arange(n - 1, dtype=np.int64)
+    parts_u.append(spine)
+    parts_v.append(spine + 1)
+
+    if hubs > 0 and hub_degree > 0:
+        hub_ids = rng.choice(n, size=hubs, replace=False).astype(np.int64)
+        reach = 2 * section
+        spokes = rng.integers(-reach, reach + 1, size=(hubs, hub_degree))
+        targets = np.clip(hub_ids[:, None] + spokes, 0, n - 1).astype(np.int64)
+        parts_u.append(np.repeat(hub_ids, hub_degree))
+        parts_v.append(targets.ravel())
+
+    edges = np.stack([np.concatenate(parts_u), np.concatenate(parts_v)], axis=1)
+    return CSRGraph.from_edges(n, edges, name=name)
+
+
+def grid2d(nx: int, ny: int, diagonal: bool = False, name: str = "grid2d") -> CSRGraph:
+    """``nx × ny`` lattice in row-major order; 4-point or 8-point stencil."""
+    check_positive("nx", nx)
+    check_positive("ny", ny)
+    idx = np.arange(nx * ny, dtype=np.int64).reshape(ny, nx)
+    parts = [
+        np.stack([idx[:, :-1].ravel(), idx[:, 1:].ravel()], axis=1),
+        np.stack([idx[:-1, :].ravel(), idx[1:, :].ravel()], axis=1),
+    ]
+    if diagonal:
+        parts.append(np.stack([idx[:-1, :-1].ravel(), idx[1:, 1:].ravel()], axis=1))
+        parts.append(np.stack([idx[:-1, 1:].ravel(), idx[1:, :-1].ravel()], axis=1))
+    edges = np.concatenate(parts, axis=0) if parts else np.empty((0, 2), dtype=np.int64)
+    return CSRGraph.from_edges(nx * ny, edges, name=name)
+
+
+def grid3d(nx: int, ny: int, nz: int, name: str = "grid3d") -> CSRGraph:
+    """``nx × ny × nz`` lattice with a 6-point stencil."""
+    check_positive("nx", nx)
+    check_positive("ny", ny)
+    check_positive("nz", nz)
+    idx = np.arange(nx * ny * nz, dtype=np.int64).reshape(nz, ny, nx)
+    parts = [
+        np.stack([idx[:, :, :-1].ravel(), idx[:, :, 1:].ravel()], axis=1),
+        np.stack([idx[:, :-1, :].ravel(), idx[:, 1:, :].ravel()], axis=1),
+        np.stack([idx[:-1, :, :].ravel(), idx[1:, :, :].ravel()], axis=1),
+    ]
+    edges = np.concatenate(parts, axis=0)
+    return CSRGraph.from_edges(nx * ny * nz, edges, name=name)
+
+
+def erdos_renyi(n: int, m: int, seed=0, name: str = "erdos_renyi") -> CSRGraph:
+    """G(n, m)-style random graph: *m* edge slots sampled uniformly.
+
+    Duplicates and self-loops are dropped, so the realised edge count is
+    slightly below *m* for dense settings.
+    """
+    check_positive("n", n)
+    rng = rng_from_seed(seed)
+    edges = rng.integers(0, n, size=(m, 2), dtype=np.int64)
+    return CSRGraph.from_edges(n, edges, name=name)
+
+
+def rmat(
+    scale: int,
+    edge_factor: int = 16,
+    a: float = 0.57,
+    b: float = 0.19,
+    c: float = 0.19,
+    seed=0,
+    name: str = "rmat",
+) -> CSRGraph:
+    """Graph500-style R-MAT generator (``2**scale`` vertices).
+
+    Quadrant probabilities ``(a, b, c, 1-a-b-c)`` default to the Graph500
+    values; edges are sampled bit-by-bit, fully vectorised.
+    """
+    check_positive("scale", scale)
+    d = 1.0 - a - b - c
+    if min(a, b, c, d) < 0:
+        raise ValueError("quadrant probabilities must be non-negative")
+    rng = rng_from_seed(seed)
+    n = 1 << scale
+    m = edge_factor * n
+    u = np.zeros(m, dtype=np.int64)
+    v = np.zeros(m, dtype=np.int64)
+    for _ in range(scale):
+        r = rng.random(m)
+        u_bit = r >= a + b
+        v_bit = (r >= a) & (r < a + b) | (r >= a + b + c)
+        u = (u << 1) | u_bit
+        v = (v << 1) | v_bit
+    return CSRGraph.from_edges(n, np.stack([u, v], axis=1), name=name)
+
+
+def chain(n: int, name: str = "chain") -> CSRGraph:
+    """Path graph ``0-1-...-n-1`` (the paper's worst case for layered BFS)."""
+    check_positive("n", n)
+    i = np.arange(n - 1, dtype=np.int64)
+    return CSRGraph.from_edges(n, np.stack([i, i + 1], axis=1), name=name)
+
+
+def star(n: int, name: str = "star") -> CSRGraph:
+    """Star graph: vertex 0 connected to all others."""
+    check_positive("n", n)
+    spokes = np.arange(1, n, dtype=np.int64)
+    edges = np.stack([np.zeros(n - 1, dtype=np.int64), spokes], axis=1)
+    return CSRGraph.from_edges(n, edges, name=name)
+
+
+def complete(n: int, name: str = "complete") -> CSRGraph:
+    """Complete graph K_n (small n only; used in colouring tests)."""
+    check_positive("n", n)
+    iu, iv = np.triu_indices(n, k=1)
+    return CSRGraph.from_edges(n, np.stack([iu, iv], axis=1), name=name)
+
+
+def random_regular_ish(n: int, degree: int, seed=0, name: str = "regular") -> CSRGraph:
+    """Approximately *degree*-regular random graph via permutation matchings.
+
+    Used by ablation benches that need uniform work per vertex; exact
+    regularity is not guaranteed (collisions are dropped).
+    """
+    check_positive("n", n)
+    check_positive("degree", degree)
+    rng = rng_from_seed(seed)
+    parts = []
+    for _ in range((degree + 1) // 2):
+        perm = rng.permutation(n).astype(np.int64)
+        parts.append(np.stack([np.arange(n, dtype=np.int64), perm], axis=1))
+    return CSRGraph.from_edges(n, np.concatenate(parts, axis=0), name=name)

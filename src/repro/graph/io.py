@@ -1,0 +1,93 @@
+"""Graph I/O: MatrixMarket pattern files and plain edge lists.
+
+The paper's graphs ship as MatrixMarket files from the UF collection; this
+module reads/writes the ``matrix coordinate pattern symmetric`` dialect
+(plus ``general`` and value-carrying variants, values ignored) so real UF
+files drop in directly when available, and a whitespace edge-list format
+for quick interchange.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+
+__all__ = ["read_matrix_market", "write_matrix_market", "read_edge_list",
+           "write_edge_list", "load_graph"]
+
+
+def read_matrix_market(path: str | os.PathLike, name: str | None = None) -> CSRGraph:
+    """Read a MatrixMarket coordinate file as an undirected pattern graph."""
+    path = os.fspath(path)
+    with open(path, "r", encoding="utf-8") as fh:
+        header = fh.readline()
+        if not header.startswith("%%MatrixMarket"):
+            raise ValueError(f"{path}: missing MatrixMarket header")
+        fields = header.lower().split()
+        if "coordinate" not in fields:
+            raise ValueError(f"{path}: only coordinate format is supported")
+        line = fh.readline()
+        while line.startswith("%"):
+            line = fh.readline()
+        parts = line.split()
+        if len(parts) != 3:
+            raise ValueError(f"{path}: malformed size line {line!r}")
+        rows, cols, nnz = (int(p) for p in parts)
+        if rows != cols:
+            raise ValueError(f"{path}: matrix is {rows}x{cols}, need square")
+        data = np.loadtxt(fh, ndmin=2, usecols=(0, 1), dtype=np.int64, max_rows=nnz)
+    if data.size == 0:
+        data = data.reshape(0, 2)
+    edges = data - 1  # MatrixMarket is 1-based
+    return CSRGraph.from_edges(rows, edges,
+                               name=name or os.path.splitext(os.path.basename(path))[0])
+
+
+def write_matrix_market(graph: CSRGraph, path: str | os.PathLike) -> None:
+    """Write *graph* as ``matrix coordinate pattern symmetric`` (lower triangle)."""
+    edges = graph.edge_array()  # u < v once per edge
+    with open(os.fspath(path), "w", encoding="utf-8") as fh:
+        fh.write("%%MatrixMarket matrix coordinate pattern symmetric\n")
+        fh.write(f"% written by repro: {graph.name}\n")
+        fh.write(f"{graph.n_vertices} {graph.n_vertices} {len(edges)}\n")
+        # symmetric dialect stores the lower triangle: row >= col, 1-based
+        for u, v in edges:
+            fh.write(f"{v + 1} {u + 1}\n")
+
+
+def read_edge_list(path: str | os.PathLike, name: str | None = None) -> CSRGraph:
+    """Read ``u v`` pairs (0-based, ``#`` comments allowed), one per line."""
+    path = os.fspath(path)
+    edges = []
+    n = 0
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.split("#", 1)[0].strip()
+            if not line:
+                continue
+            parts = line.split()
+            if len(parts) != 2:
+                raise ValueError(f"{path}:{lineno}: expected 'u v', got {line!r}")
+            u, v = int(parts[0]), int(parts[1])
+            edges.append((u, v))
+            n = max(n, u + 1, v + 1)
+    return CSRGraph.from_edges(n, np.asarray(edges, dtype=np.int64).reshape(-1, 2),
+                               name=name or os.path.splitext(os.path.basename(path))[0])
+
+
+def write_edge_list(graph: CSRGraph, path: str | os.PathLike) -> None:
+    """Write each undirected edge once as ``u v`` (0-based)."""
+    with open(os.fspath(path), "w", encoding="utf-8") as fh:
+        fh.write(f"# {graph.name}: {graph.n_vertices} vertices, {graph.n_edges} edges\n")
+        for u, v in graph.edge_array():
+            fh.write(f"{u} {v}\n")
+
+
+def load_graph(path: str | os.PathLike, name: str | None = None) -> CSRGraph:
+    """Dispatch on extension: ``.mtx`` → MatrixMarket, anything else → edge list."""
+    if os.fspath(path).endswith(".mtx"):
+        return read_matrix_market(path, name=name)
+    return read_edge_list(path, name=name)

@@ -1,0 +1,41 @@
+"""The paper's kernels: colouring, irregular computation, and BFS."""
+
+from repro.kernels.coloring import (
+    greedy_coloring,
+    greedy_coloring_stamp,
+    ColoringRun,
+    parallel_coloring,
+    verify_coloring,
+    count_conflicts,
+)
+from repro.kernels.irregular import irregular_kernel, simulate_irregular, IrregularRun
+from repro.kernels.bfs import (
+    bfs_sequential,
+    bfs_fifo,
+    frontier_profile,
+    BFSRun,
+    simulate_bfs,
+    bfs_parallel,
+    BFS_VARIANTS,
+    Bag,
+)
+
+__all__ = [
+    "greedy_coloring",
+    "greedy_coloring_stamp",
+    "ColoringRun",
+    "parallel_coloring",
+    "verify_coloring",
+    "count_conflicts",
+    "irregular_kernel",
+    "simulate_irregular",
+    "IrregularRun",
+    "bfs_sequential",
+    "bfs_fifo",
+    "frontier_profile",
+    "BFSRun",
+    "simulate_bfs",
+    "bfs_parallel",
+    "BFS_VARIANTS",
+    "Bag",
+]

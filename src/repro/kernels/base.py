@@ -1,0 +1,58 @@
+"""Shared helpers for the simulated kernels."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sim.stats import ChunkExec
+
+__all__ = ["flat_gather", "gather_neighbors", "wave_partition", "KernelRun"]
+
+
+def flat_gather(indices: np.ndarray, starts: np.ndarray, ends: np.ndarray):
+    """Concatenate CSR slices ``indices[starts[i]:ends[i]]``.
+
+    Returns ``(values, seg)`` where ``seg[j]`` is the slice index that
+    produced ``values[j]``.  Fully vectorised.
+    """
+    lens = (ends - starts).astype(np.int64)
+    total = int(lens.sum())
+    if total == 0:
+        return (np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64))
+    offsets = np.repeat(np.cumsum(lens) - lens, lens)
+    flat = np.arange(total, dtype=np.int64) - offsets + np.repeat(starts, lens)
+    seg = np.repeat(np.arange(len(lens), dtype=np.int64), lens)
+    return indices[flat].astype(np.int64), seg
+
+
+def gather_neighbors(indptr: np.ndarray, indices: np.ndarray, verts: np.ndarray):
+    """All neighbours of *verts*: ``(neighbors, seg)`` with ``seg`` the
+    position of the owning vertex within *verts*."""
+    return flat_gather(indices, indptr[verts], indptr[verts + 1])
+
+
+def wave_partition(chunks: list[ChunkExec], n_threads: int) -> list[list[ChunkExec]]:
+    """Group a chunk schedule into concurrency *waves*.
+
+    Chunks are sorted by start time and grouped ``n_threads`` at a time:
+    chunks in the same wave are treated as executing concurrently (they
+    cannot see each other's writes), chunks in earlier waves as committed.
+    This is the time-faithful approximation the semantic replay uses for
+    speculative-colouring conflicts and relaxed-queue duplicates
+    (DESIGN.md §3).
+    """
+    ordered = sorted(chunks, key=lambda c: (c.start, c.thread, c.lo))
+    return [ordered[i:i + n_threads] for i in range(0, len(ordered), n_threads)]
+
+
+class KernelRun:
+    """Base class for kernel run results: accumulates simulated time."""
+
+    def __init__(self):
+        self.total_cycles = 0.0
+        self.loop_stats = []
+
+    def add_loop(self, stats) -> None:
+        """Fold one parallel loop's span into the run total."""
+        self.total_cycles += stats.span
+        self.loop_stats.append(stats)

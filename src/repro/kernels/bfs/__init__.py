@@ -1,0 +1,33 @@
+"""Breadth-first search kernels: sequential oracle, layered parallel
+variants (block queue / TLS queue / pennant bag), and the bag structure."""
+
+from repro.kernels.bfs.sequential import bfs_sequential, bfs_fifo, frontier_profile
+from repro.kernels.bfs.layered import (
+    BFSRun,
+    simulate_bfs,
+    bfs_parallel,
+    BFS_VARIANTS,
+)
+from repro.kernels.bfs.bag import Bag, Pennant, PennantNode
+from repro.kernels.bfs.direction_optimizing import (
+    bfs_direction_optimizing,
+    DirectionOptimizingResult,
+)
+from repro.kernels.bfs.validate import validate_bfs, BfsValidationError
+
+__all__ = [
+    "bfs_sequential",
+    "bfs_fifo",
+    "frontier_profile",
+    "BFSRun",
+    "simulate_bfs",
+    "bfs_parallel",
+    "BFS_VARIANTS",
+    "Bag",
+    "Pennant",
+    "PennantNode",
+    "bfs_direction_optimizing",
+    "DirectionOptimizingResult",
+    "validate_bfs",
+    "BfsValidationError",
+]

@@ -1,0 +1,328 @@
+"""Layered parallel BFS (the paper's Algorithm 7) with the three frontier
+data structures of §IV-C:
+
+* ``openmp-block`` / ``tbb-block`` — the paper's novel **block-accessed
+  shared queue**: one contiguous array per level; each thread reserves
+  blocks of ``block`` slots with an atomic fetch-and-add and pads its last
+  partial block with sentinel entries (-1) that the next level skips.
+* ``openmp-tls`` — the SNAP v0.4 scheme: thread-local queues merged into a
+  global queue at the end of every level, with a per-vertex lock before
+  insertion (including the paper's improvement of checking the level
+  before attempting the lock).
+* ``cilk-bag`` — the Leiserson–Schardl pennant bag
+  (:mod:`repro.kernels.bfs.bag`): allocation-heavy, pointer-chasing, and —
+  on the simulated KNF as on the real one — poorly scaling, because every
+  pennant-node allocation funnels through the µOS allocator lock.
+
+Every variant exists in *relaxed* (benign races allowed: a vertex can
+enter the next queue more than once, costing redundant work next level)
+and *locked* flavours; §V-D reports relaxed consistently wins, which the
+cost model reproduces (lock latency per discovered vertex vs. occasional
+duplicate scans).
+
+Semantics are replayed over the simulated chunk schedule in concurrency
+waves, so duplicate counts emerge from actual (simulated) concurrency.
+The resulting distance labelling is always exact (the races are benign) —
+tests assert it equals :func:`~repro.kernels.bfs.sequential.bfs_sequential`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.kernels.base import KernelRun, gather_neighbors, wave_partition
+from repro.machine.cache import access_profile_cached
+from repro.machine.config import KNF, MachineConfig
+from repro.machine.costs import OP, WorkCosts, bfs_scan_costs
+from repro.runtime.base import (Partitioner, ProgrammingModel, RuntimeSpec,
+                                Schedule)
+
+__all__ = ["BFSRun", "simulate_bfs", "BFS_VARIANTS", "bfs_parallel"]
+
+#: Per-insert cost of the bag frontier: the Cilk reducer resolves its view
+#: through the runtime's hyperobject map on every insert, plus the pennant
+#: pointer work itself.
+BAG_INSERT_CYCLES = 70.0
+#: Elements per pennant node (the paper's ``grainsize``).
+BAG_GRAIN = 64
+#: Serialized per-worker cost of the end-of-level reducer merge (bag
+#: unions happen in the runtime's combine chain).
+BAG_MERGE_CYCLES = 400.0
+#: Cycles to copy one queue entry during the TLS end-of-level merge.
+TLS_MERGE_CYCLES_PER_ENTRY = 2.0
+#: Width of the check-then-write race window in a relaxed queue insert.
+#: Two concurrent threads duplicate a vertex only when their windows
+#: overlap; the replay thins lockstep collisions by
+#: ``RACE_WINDOW_CYCLES / mean entry duration`` ("the race condition is
+#: unlikely and benign", §III-C).
+RACE_WINDOW_CYCLES = 60.0
+
+BFS_VARIANTS = ("openmp-block", "tbb-block", "openmp-tls", "cilk-bag")
+
+
+@dataclass
+class BFSRun(KernelRun):
+    """Result of one simulated layered-BFS execution."""
+
+    dist: np.ndarray = None
+    n_levels: int = 0
+    duplicates: int = 0
+    sentinels: int = 0
+    entries_processed: int = 0
+    level_spans: list = field(default_factory=list)
+
+    def __init__(self):
+        KernelRun.__init__(self)
+        self.dist = None
+        self.n_levels = 0
+        self.duplicates = 0
+        self.sentinels = 0
+        self.entries_processed = 0
+        self.level_spans = []
+
+
+def _variant_spec(variant: str, block: int) -> RuntimeSpec:
+    """Default runtime configuration per variant (per the paper's setup)."""
+    if variant == "openmp-block":
+        return RuntimeSpec(ProgrammingModel.OPENMP, schedule=Schedule.DYNAMIC,
+                           chunk=block)
+    if variant == "tbb-block":
+        return RuntimeSpec(ProgrammingModel.TBB, partitioner=Partitioner.SIMPLE,
+                           chunk=block)
+    if variant == "openmp-tls":
+        return RuntimeSpec(ProgrammingModel.OPENMP, schedule=Schedule.STATIC,
+                           chunk=block)
+    if variant == "cilk-bag":
+        return RuntimeSpec(ProgrammingModel.CILK, chunk=BAG_GRAIN)
+    raise ValueError(f"unknown BFS variant {variant!r}; pick from {BFS_VARIANTS}")
+
+
+def simulate_bfs(
+    graph: CSRGraph,
+    n_threads: int,
+    variant: str = "openmp-block",
+    relaxed: bool = True,
+    source: int | None = None,
+    block: int = 32,
+    config: MachineConfig = KNF,
+    cache_scale: float = 1.0,
+    seed: int = 0,
+) -> BFSRun:
+    """Simulate a layered parallel BFS of *graph* from *source*.
+
+    Returns a :class:`BFSRun`; ``run.dist`` is the exact BFS labelling and
+    ``run.total_cycles`` the simulated execution time.
+    """
+    if variant not in BFS_VARIANTS:
+        raise ValueError(f"unknown BFS variant {variant!r}; pick from {BFS_VARIANTS}")
+    if block < 1:
+        raise ValueError(f"block must be >= 1, got {block}")
+    n = graph.n_vertices
+    run = BFSRun()
+    run.dist = np.full(n, -1, dtype=np.int64)
+    if n == 0:
+        return run
+    if source is None:
+        source = n // 2
+    if not 0 <= source < n:
+        raise ValueError(f"source {source} out of range for {n} vertices")
+
+    spec = _variant_spec(variant, block)
+    profile = access_profile_cached(graph, config, n_threads, state_bytes=4,
+                             cache_scale=cache_scale)
+    scan = bfs_scan_costs(graph, profile)
+    indptr, indices = graph.indptr, graph.indices
+
+    run.dist[source] = 0
+    queue = np.asarray([source], dtype=np.int64)
+    level = 1
+    while True:
+        valid = queue >= 0
+        verts = queue[valid]
+        if verts.size == 0:
+            break
+        run.entries_processed += len(queue)
+
+        pushes = _fresh_push_counts(indptr, indices, verts, run.dist)
+        work = _level_costs(queue, valid, verts, pushes, scan, config,
+                            variant, relaxed, block)
+        stats = spec.parallel_for(config, n_threads, work,
+                                  fork=(level == 1), seed=seed + level)
+        span = stats.span
+        if variant == "cilk-bag":
+            # Every pennant-node allocation serialises on the µOS heap lock
+            # (one node per BAG_GRAIN inserts, plus each active worker's
+            # hopper), and the per-worker bags merge through the reducer
+            # combine chain at level end.
+            active = min(n_threads, max(1, -(-len(queue) // BAG_GRAIN)))
+            allocs = int(pushes.sum()) // BAG_GRAIN + active
+            span = max(span, allocs * config.alloc_cycles)
+            if n_threads > 1:
+                span += active * BAG_MERGE_CYCLES
+        if variant == "openmp-tls":
+            # End-of-level merge of thread-local queues into the global one.
+            merge = (config.atomic_cycles * max(1, n_threads - 1).bit_length()
+                     + pushes.sum() / max(1, n_threads) * TLS_MERGE_CYCLES_PER_ENTRY)
+            span += merge
+        run.total_cycles += span
+        run.level_spans.append(span)
+        run.loop_stats.append(stats)
+
+        mean_entry = ((work.compute[valid].sum() + work.stall[valid].sum())
+                      / max(1, len(verts)))
+        p_race = min(1.0, RACE_WINDOW_CYCLES / max(1.0, mean_entry))
+        rng = np.random.default_rng((seed + 1) * 100_003 + level)
+        per_thread, duplicates = _replay_level(
+            indptr, indices, queue, run.dist, stats.chunks, n_threads,
+            level, relaxed, p_race, rng)
+        run.duplicates += duplicates
+        queue, pad = _build_queue(per_thread, n_threads, variant, block)
+        run.sentinels += pad
+        level += 1
+
+    run.n_levels = level - 1
+    return run
+
+
+def _fresh_push_counts(indptr, indices, verts, dist) -> np.ndarray:
+    """Per queue entry: how many of its neighbours are undiscovered at
+    level start (the push attempts it will make)."""
+    nbrs, seg = gather_neighbors(indptr, indices, verts)
+    fresh = (dist[nbrs] == -1).astype(np.float64)
+    out = np.zeros(len(verts))
+    if len(nbrs):
+        np.add.at(out, seg, fresh)
+    return out
+
+
+def _level_costs(queue, valid, verts, pushes, scan: WorkCosts,
+                 config: MachineConfig, variant: str, relaxed: bool,
+                 block: int) -> WorkCosts:
+    """Per-entry cost arrays for one level's parallel scan."""
+    m = len(queue)
+    compute = np.full(m, OP.BFS_SENTINEL)
+    stall = np.zeros(m)
+    volume = np.full(m, 4.0 / config.line_bytes)  # queue entry stream-in
+
+    compute[valid] = scan.compute[verts] + pushes * OP.BFS_PUSH
+    stall[valid] = scan.stall[verts]
+    volume[valid] += scan.volume[verts]
+
+    if variant in ("openmp-block", "tbb-block"):
+        # Output-queue tail fetch-and-add, amortised one per filled block.
+        compute[valid] += pushes / block * config.atomic_cycles
+        if not relaxed:
+            stall[valid] += pushes * config.lock_cycles
+    elif variant == "openmp-tls":
+        # SNAP locks each vertex before pushing (fresh ones only, with the
+        # paper's check-before-lock improvement).
+        stall[valid] += pushes * config.lock_cycles
+    elif variant == "cilk-bag":
+        compute[valid] += pushes * BAG_INSERT_CYCLES
+        # Traversal walks pennant trees: one exposed pointer chase per node.
+        stall[valid] += config.dram_cycles / BAG_GRAIN
+        if not relaxed:
+            stall[valid] += pushes * config.lock_cycles
+    return WorkCosts(compute, stall, volume)
+
+
+def _replay_level(indptr, indices, queue, dist, chunks, n_threads, level,
+                  relaxed, p_race=1.0, rng=None):
+    """Lockstep semantic replay of one level's discoveries.
+
+    Chunks are grouped into concurrency waves; within a wave the threads
+    advance entry by entry in lockstep.  A discovery can race only with
+    discoveries made at the *same* lockstep instant by other chunks
+    (caches are coherent — a committed ``bfs[w]`` write is visible the
+    next instant), and even then the relaxed queues duplicate the vertex
+    only when the check-then-write windows actually overlap, which happens
+    with probability *p_race* (window width / entry duration) — the
+    "unlikely and benign" race of Leiserson & Schardl that §III-C/V-D
+    discusses.  The locked variants admit one winner per vertex.
+
+    Returns ``(per_thread, duplicates)`` where ``per_thread[tid]`` is the
+    ordered list of vertex arrays thread *tid* appended to its queue.
+    """
+    if rng is None:
+        rng = np.random.default_rng(0)
+    per_thread: dict[int, list] = {}
+    duplicates = 0
+    for wave in wave_partition(chunks, n_threads):
+        if len(wave) == 1:
+            # Single chunk: sequential execution, no races possible.
+            c = wave[0]
+            entries = queue[c.lo:c.hi]
+            verts = entries[entries >= 0]
+            if verts.size == 0:
+                continue
+            nbrs, _ = gather_neighbors(indptr, indices, verts)
+            found = np.unique(nbrs[dist[nbrs] == -1])
+            if len(found):
+                dist[found] = level
+                per_thread.setdefault(c.thread, []).append(found)
+            continue
+        lows = np.asarray([c.lo for c in wave], dtype=np.int64)
+        sizes = np.asarray([c.hi - c.lo for c in wave], dtype=np.int64)
+        tids = [c.thread for c in wave]
+        for p in range(int(sizes.max())):
+            live = np.nonzero(sizes > p)[0]
+            entries = queue[lows[live] + p]
+            ok = entries >= 0
+            live, verts = live[ok], entries[ok]
+            if verts.size == 0:
+                continue
+            nbrs, seg = gather_neighbors(indptr, indices, verts)
+            fresh = dist[nbrs] == -1
+            if not fresh.any():
+                continue
+            cand_c = live[seg[fresh]]      # wave-chunk index per claim
+            cand_v = nbrs[fresh]
+            order = np.lexsort((cand_c, cand_v))
+            cand_c, cand_v = cand_c[order], cand_v[order]
+            first = np.ones(len(cand_v), dtype=bool)
+            first[1:] = cand_v[1:] != cand_v[:-1]
+            if relaxed:
+                # An extra claimant duplicates only if its check-then-write
+                # window overlapped the winner's.
+                keep = first.copy()
+                extra = ~first
+                if extra.any():
+                    keep[extra] = rng.random(int(extra.sum())) < p_race
+            else:
+                keep = first
+            uniq = np.unique(cand_v)
+            duplicates += int(keep.sum()) - len(uniq)
+            dist[uniq] = level
+            for ci in np.unique(cand_c):
+                mine = cand_v[keep & (cand_c == ci)]
+                if len(mine):
+                    per_thread.setdefault(tids[ci], []).append(mine)
+    return per_thread, duplicates
+
+
+def _build_queue(per_thread, n_threads, variant, block):
+    """Assemble the next-level queue from per-thread discovery streams."""
+    parts = []
+    pad_total = 0
+    for tid in range(n_threads):
+        if tid not in per_thread:
+            continue
+        mine = np.concatenate(per_thread[tid])
+        if variant in ("openmp-block", "tbb-block"):
+            pad = (-len(mine)) % block
+            if pad:
+                mine = np.concatenate([mine, np.full(pad, -1, dtype=np.int64)])
+                pad_total += pad
+        parts.append(mine)
+    if not parts:
+        return np.zeros(0, dtype=np.int64), pad_total
+    return np.concatenate(parts), pad_total
+
+
+def bfs_parallel(graph: CSRGraph, source: int | None = None,
+                 n_threads: int = 1, **kwargs) -> np.ndarray:
+    """Convenience API: run the simulated parallel BFS, return distances."""
+    return simulate_bfs(graph, n_threads, source=source, **kwargs).dist

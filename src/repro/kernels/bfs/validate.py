@@ -1,0 +1,88 @@
+"""Graph500-style BFS output validation.
+
+The paper points at the Graph 500 benchmark as the reference setting for
+parallel BFS; Graph 500 specifies result *validation* rather than
+comparing against a reference run.  :func:`validate_bfs` checks the
+specification's level conditions directly on a distance labelling:
+
+1. the source has distance 0 and is the only such vertex (if reachable
+   vertices exist, exactly one has distance 0);
+2. every edge spans at most one level;
+3. every vertex at distance d > 0 has a neighbour at distance d - 1;
+4. every vertex reachable from the source is labelled, and no vertex
+   outside the source's component is.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.kernels.base import gather_neighbors
+
+__all__ = ["validate_bfs", "BfsValidationError"]
+
+
+class BfsValidationError(AssertionError):
+    """Raised by :func:`validate_bfs` with a description of the violation."""
+
+
+def validate_bfs(graph: CSRGraph, source: int, dist: np.ndarray,
+                 raise_on_error: bool = True) -> bool:
+    """Validate a BFS distance labelling (see module docstring).
+
+    Returns True on success; on failure raises :class:`BfsValidationError`
+    (or returns False with ``raise_on_error=False``).
+    """
+    try:
+        _check(graph, source, np.asarray(dist))
+    except BfsValidationError:
+        if raise_on_error:
+            raise
+        return False
+    return True
+
+
+def _check(graph: CSRGraph, source: int, dist: np.ndarray) -> None:
+    n = graph.n_vertices
+    if len(dist) != n:
+        raise BfsValidationError(f"dist has length {len(dist)}, expected {n}")
+    if not 0 <= source < n:
+        raise BfsValidationError(f"source {source} out of range")
+    if dist[source] != 0:
+        raise BfsValidationError(f"source distance is {dist[source]}, not 0")
+    if int((dist == 0).sum()) != 1:
+        raise BfsValidationError("more than one vertex at distance 0")
+    if np.any(dist < -1):
+        raise BfsValidationError("distances below -1 present")
+
+    labelled = np.nonzero(dist >= 0)[0]
+    nbrs, seg = gather_neighbors(graph.indptr, graph.indices, labelled)
+    if len(nbrs):
+        dv = dist[labelled[seg]]
+        dw = dist[nbrs]
+        # (2) labelled-labelled edges span <= 1 level
+        both = dw >= 0
+        if np.any(np.abs(dv[both] - dw[both]) > 1):
+            raise BfsValidationError("an edge spans more than one level")
+        # (4a) a labelled vertex with an unlabelled neighbour is fine only
+        # if... actually unlabelled neighbour of labelled vertex is a
+        # reachability violation:
+        if np.any(~both):
+            v = labelled[seg[~both]][0]
+            w = nbrs[~both][0]
+            raise BfsValidationError(
+                f"vertex {w} adjacent to labelled {v} is unlabelled")
+        # (3) every non-source labelled vertex has a parent one level up
+        has_parent = np.zeros(n, dtype=bool)
+        parentish = dw == dv - 1
+        if parentish.any():
+            has_parent[labelled[seg[parentish]]] = True
+        need = labelled[dist[labelled] > 0]
+        missing = need[~has_parent[need]]
+        if len(missing):
+            raise BfsValidationError(
+                f"vertex {missing[0]} at distance {dist[missing[0]]} has no "
+                "parent one level closer")
+    elif len(labelled) > 1:
+        raise BfsValidationError("labelled vertices without any edges")

@@ -1,0 +1,39 @@
+"""Colouring validation helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+
+__all__ = ["verify_coloring", "count_conflicts"]
+
+
+def count_conflicts(graph: CSRGraph, colors: np.ndarray) -> int:
+    """Number of undirected edges whose endpoints share a colour.
+
+    Uncoloured vertices (colour 0) never conflict — the parallel algorithm
+    queries this mid-iteration when part of the graph is still tentative.
+    """
+    colors = np.asarray(colors)
+    if len(colors) != graph.n_vertices:
+        raise ValueError("colors length does not match vertex count")
+    src = np.repeat(np.arange(graph.n_vertices, dtype=np.int64), graph.degrees)
+    dst = graph.indices
+    same = (colors[src] == colors[dst]) & (colors[src] > 0) & (src < dst)
+    return int(same.sum())
+
+
+def verify_coloring(graph: CSRGraph, colors: np.ndarray,
+                    require_complete: bool = True) -> bool:
+    """True iff *colors* is a proper distance-1 colouring of *graph*.
+
+    With ``require_complete`` every vertex must carry a positive colour;
+    otherwise only coloured-coloured edges are checked.
+    """
+    colors = np.asarray(colors)
+    if len(colors) != graph.n_vertices:
+        return False
+    if require_complete and graph.n_vertices and colors.min() < 1:
+        return False
+    return count_conflicts(graph, colors) == 0

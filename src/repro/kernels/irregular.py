@@ -1,0 +1,105 @@
+"""Irregular-computation microbenchmark (the paper's Algorithm 5, §III-B).
+
+Each vertex's double-precision state is replaced by the average of its
+neighbours' states, ``iterations`` times — "a reasonable abstraction of a
+single iteration of algorithms such as PageRank or Heat Equation solvers"
+with the data dependencies of a sparse matrix-vector product.  The
+``iterations`` knob moves the kernel along the
+computation-to-communication axis: the first neighbourhood sweep pays the
+memory system, the repeats mostly pay the FPU/issue pipeline — which is
+exactly the interplay Figure 3 studies.
+
+:func:`irregular_kernel` is the *real* computation (vectorised, usable as
+a library function); :func:`simulate_irregular` runs the kernel through a
+simulated runtime and returns timing.  The computation itself is
+schedule-independent up to benign races (§III-B reads neighbours' current
+states), so the simulation does not replay semantics chunk-by-chunk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.kernels.base import KernelRun
+from repro.machine.cache import access_profile_cached
+from repro.machine.config import KNF, MachineConfig
+from repro.machine.costs import WorkCosts, irregular_costs
+from repro.runtime.base import RuntimeSpec
+
+__all__ = ["irregular_kernel", "simulate_irregular", "IrregularRun"]
+
+
+def irregular_kernel(graph: CSRGraph, state: np.ndarray | None = None,
+                     iterations: int = 1) -> np.ndarray:
+    """Run the microbenchmark computation for real (Jacobi-style sweeps).
+
+    Returns the final state; the input array is not modified.
+    """
+    if iterations < 1:
+        raise ValueError(f"iterations must be >= 1, got {iterations}")
+    n = graph.n_vertices
+    if state is None:
+        state = np.ones(n, dtype=np.float64)
+    else:
+        state = np.asarray(state, dtype=np.float64).copy()
+        if len(state) != n:
+            raise ValueError(f"state has length {len(state)}, expected {n}")
+    indptr, indices = graph.indptr, graph.indices
+    deg = graph.degrees.astype(np.float64)
+    for _ in range(iterations):
+        cs = np.concatenate([[0.0], np.cumsum(state[indices])])
+        nbr_sum = cs[indptr[1:]] - cs[indptr[:-1]]
+        state = (state + nbr_sum) / (deg + 1.0)
+    return state
+
+
+@dataclass
+class IrregularRun(KernelRun):
+    """Result of one simulated microbenchmark execution."""
+
+    iterations: int = 1
+    state: np.ndarray = None
+
+    def __init__(self, iterations: int):
+        KernelRun.__init__(self)
+        self.iterations = iterations
+        self.state = None
+
+
+def simulate_irregular(
+    graph: CSRGraph,
+    n_threads: int,
+    iterations: int = 1,
+    spec: RuntimeSpec | None = None,
+    config: MachineConfig = KNF,
+    cache_scale: float = 1.0,
+    seed: int = 0,
+    compute_state: bool = False,
+) -> IrregularRun:
+    """Simulate the microbenchmark on *config* under *spec*.
+
+    With ``compute_state`` the real computation runs too (for examples and
+    correctness tests); timing never depends on the state values.
+    """
+    if spec is None:
+        from repro.runtime.base import ProgrammingModel
+        spec = RuntimeSpec(model=ProgrammingModel.OPENMP)
+    run = IrregularRun(iterations)
+    if graph.n_vertices == 0:
+        return run
+    profile = access_profile_cached(graph, config, n_threads, state_bytes=8,
+                                    cache_scale=cache_scale)
+    work = irregular_costs(graph, profile, iterations, config.local_hit_cycles)
+    body_item, body_edge = spec.body_overhead
+    if body_item or body_edge:
+        deg = graph.degrees.astype(np.float64)
+        work = WorkCosts(work.compute + body_item + body_edge * deg,
+                         work.stall, work.volume)
+    stats = spec.parallel_for(config, n_threads, work, tls_entries=0, seed=seed)
+    run.add_loop(stats)
+    if compute_state:
+        run.state = irregular_kernel(graph, iterations=iterations)
+    return run

@@ -1,0 +1,29 @@
+"""Machine timing model: configurations, SMT cores, cache model, costs."""
+
+from repro.machine.config import MachineConfig, KNF, HOST_XEON
+from repro.machine.core import Core, Chip
+from repro.machine.cache import AccessProfile, access_profile
+from repro.machine.costs import (
+    OP,
+    WorkCosts,
+    coloring_tentative_costs,
+    coloring_conflict_costs,
+    irregular_costs,
+    bfs_scan_costs,
+)
+
+__all__ = [
+    "MachineConfig",
+    "KNF",
+    "HOST_XEON",
+    "Core",
+    "Chip",
+    "AccessProfile",
+    "access_profile",
+    "OP",
+    "WorkCosts",
+    "coloring_tentative_costs",
+    "coloring_conflict_costs",
+    "irregular_costs",
+    "bfs_scan_costs",
+]

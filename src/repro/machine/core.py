@@ -1,0 +1,100 @@
+"""SMT core and chip timing model.
+
+A chunk of work is summarised by three numbers (computed vectorised by
+:mod:`repro.machine.costs`): ``compute`` cycles to issue, ``stall`` cycles
+of expected memory latency, and ``volume`` DRAM lines transferred.
+
+A core with ``k`` busy SMT contexts executes a chunk in::
+
+    max(k * compute / issue_width,        # pipeline shared by residents
+        compute / issue_width + stall,    # this thread's critical path
+        memory channel finish time)       # chip-wide bandwidth
+
+which is the standard fluid SMT model: when the chunk is memory-bound the
+other residents' compute hides its stalls (time ≈ compute + stall
+regardless of k, so speedup keeps growing to 4 threads/core — the paper's
+coloring result), and when compute-bound the residents serialise on the
+issue pipeline (speedup caps at the core count — the paper's irregular
+kernel at high ``iter``).  Occupancy is sampled at chunk start; chunks are
+small and numerous so mid-chunk occupancy drift averages out (DESIGN.md §3).
+"""
+
+from __future__ import annotations
+
+from repro.machine.config import MachineConfig
+from repro.sim.resources import MemoryChannel
+
+__all__ = ["Core", "Chip"]
+
+
+class Core:
+    """One physical core: tracks how many SMT contexts are busy."""
+
+    __slots__ = ("index", "busy", "issued_cycles")
+
+    def __init__(self, index: int):
+        self.index = index
+        self.busy = 0
+        self.issued_cycles = 0.0
+
+    def begin(self) -> None:
+        """Mark one SMT context busy (call before executing a chunk)."""
+        self.busy += 1
+
+    def finish(self) -> None:
+        """Release one SMT context (call after the chunk completes)."""
+        if self.busy <= 0:
+            raise RuntimeError(f"core {self.index}: finish() without begin()")
+        self.busy -= 1
+
+
+class Chip:
+    """A full machine instance: cores plus the shared memory channel.
+
+    One ``Chip`` is created per simulated parallel region; its state
+    (core occupancy, channel bank reservations) is transient.
+    """
+
+    def __init__(self, config: MachineConfig, n_threads: int):
+        if n_threads < 1:
+            raise ValueError(f"n_threads must be >= 1, got {n_threads}")
+        if n_threads > config.max_threads:
+            raise ValueError(
+                f"{n_threads} threads exceed {config.name}'s "
+                f"{config.max_threads} hardware contexts")
+        self.config = config
+        self.n_threads = n_threads
+        self.cores = [Core(i) for i in range(config.n_cores)]
+        self.channel = MemoryChannel(config.mem_banks, config.dram_transfer_cycles)
+
+    def core_of(self, thread: int) -> Core:
+        """Scatter placement: thread *i* lives on core ``i % n_cores``.
+
+        This matches the paper's setup — with ≤31 threads each gets its own
+        KNF core; SMT co-residency starts past the core count.
+        """
+        return self.cores[thread % self.config.n_cores]
+
+    def threads_per_core(self) -> int:
+        """Maximum SMT residency under scatter placement."""
+        return -(-self.n_threads // self.config.n_cores)
+
+    def cores_used(self) -> int:
+        """Number of distinct cores hosting at least one thread."""
+        return min(self.n_threads, self.config.n_cores)
+
+    def execute(self, now: float, thread: int, compute: float, stall: float,
+                volume: float) -> float:
+        """Duration of a chunk started at *now* by *thread*.
+
+        The caller must bracket the call between ``core.begin()`` and
+        ``core.finish()``; occupancy is read from the core.
+        """
+        core = self.core_of(thread)
+        k = max(1, core.busy)
+        iw = self.config.issue_width
+        issue_time = k * compute / iw
+        critical_path = compute / iw + stall
+        channel_done = self.channel.service(now, volume)
+        core.issued_cycles += compute
+        return max(issue_time, critical_path, channel_done - now)

@@ -1,0 +1,20 @@
+"""Analytic performance models (the paper's §III-C BFS model and an SMT
+roofline companion)."""
+
+from repro.models.bfs_model import (
+    bfs_model_level_cost,
+    bfs_model_speedup,
+    bfs_model_curve,
+    bfs_model_speedup_for_graph,
+)
+from repro.models.smt_model import smt_speedup, smt_speedup_curve, saturation_threads
+
+__all__ = [
+    "bfs_model_level_cost",
+    "bfs_model_speedup",
+    "bfs_model_curve",
+    "bfs_model_speedup_for_graph",
+    "smt_speedup",
+    "smt_speedup_curve",
+    "saturation_threads",
+]

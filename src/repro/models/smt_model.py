@@ -1,0 +1,54 @@
+"""Analytic SMT roofline model for the loop kernels.
+
+A companion to the paper's BFS model: for a kernel whose average vertex
+costs ``compute`` issue cycles and ``stall`` exposed-latency cycles, a
+machine with ``cores`` in-order cores and scatter-placed threads executes
+at per-vertex rate ``max(k * compute, compute + stall) / k`` per thread
+(``k`` = threads per core), giving the closed-form speedup used by the
+ablation benches to sanity-check the event simulation::
+
+    speedup(t) = t * (compute + stall) / max(k * compute, compute + stall)
+
+Memory-bound kernels (``stall >> compute``) scale linearly in *threads*;
+compute-bound kernels cap at ``cores * (1 + stall/compute)`` — the two
+regimes of the paper's Figures 2 and 3.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.machine.config import MachineConfig
+
+__all__ = ["smt_speedup", "smt_speedup_curve", "saturation_threads"]
+
+
+def smt_speedup(compute: float, stall: float, n_threads: int,
+                config: MachineConfig) -> float:
+    """Closed-form speedup at *n_threads* (scatter placement)."""
+    if compute <= 0:
+        raise ValueError(f"compute must be > 0, got {compute}")
+    if stall < 0:
+        raise ValueError(f"stall must be >= 0, got {stall}")
+    if not 1 <= n_threads <= config.max_threads:
+        raise ValueError(f"n_threads {n_threads} out of range")
+    k = -(-n_threads // config.n_cores)
+    single = compute + stall
+    per_chunk = max(k * compute, single)
+    return n_threads * single / per_chunk
+
+
+def smt_speedup_curve(compute: float, stall: float, thread_counts,
+                      config: MachineConfig) -> np.ndarray:
+    """Model speedups over a thread sweep."""
+    return np.asarray([smt_speedup(compute, stall, t, config)
+                       for t in thread_counts])
+
+
+def saturation_threads(compute: float, stall: float,
+                       config: MachineConfig) -> float:
+    """Thread count where the issue pipeline saturates (speedup knee):
+    ``k* = 1 + stall / compute`` threads per core."""
+    if compute <= 0:
+        raise ValueError(f"compute must be > 0, got {compute}")
+    return config.n_cores * (1.0 + stall / compute)

@@ -1,0 +1,25 @@
+"""Simulated programming-model runtimes: OpenMP, Cilk Plus, TBB."""
+
+from repro.runtime.base import (
+    ProgrammingModel,
+    Schedule,
+    Partitioner,
+    TlsMode,
+    RuntimeSpec,
+    LoopContext,
+)
+from repro.runtime.openmp import openmp_parallel_for
+from repro.runtime.cilk import cilk_parallel_for
+from repro.runtime.tbb import tbb_parallel_for
+
+__all__ = [
+    "ProgrammingModel",
+    "Schedule",
+    "Partitioner",
+    "TlsMode",
+    "RuntimeSpec",
+    "LoopContext",
+    "openmp_parallel_for",
+    "cilk_parallel_for",
+    "tbb_parallel_for",
+]

@@ -1,0 +1,51 @@
+"""Simulated Cilk Plus ``cilk_for`` (§II-B, §IV-A2).
+
+``cilk_for`` unfolds the iteration range as a spawn tree executed under
+randomised work stealing.  Two variants of thread-local scratch access
+from the paper:
+
+* **worker-ID** — every worker eagerly initialises a scratch array at
+  region entry, indexed by ``__cilkrts_get_worker_number()`` (discouraged
+  by Intel; may initialise more memory than necessary),
+* **holder** — a view is allocated and initialised lazily the first time a
+  worker touches it, i.e. *during* the computation, "potentially
+  increasing load imbalance" (§IV-A2).
+"""
+
+from __future__ import annotations
+
+from repro.machine.config import MachineConfig
+from repro.machine.costs import WorkCosts
+from repro.runtime.base import LoopContext, TlsMode
+from repro.runtime.stealing import run_work_stealing
+from repro.sim.stats import LoopStats
+
+__all__ = ["cilk_parallel_for"]
+
+
+def cilk_parallel_for(
+    config: MachineConfig,
+    n_threads: int,
+    work: WorkCosts,
+    grain: int = 100,
+    tls_mode: TlsMode = TlsMode.HOLDER,
+    tls_entries: int = 0,
+    fork: bool = True,
+    seed: int = 0,
+) -> LoopStats:
+    """Simulate a ``cilk_for`` over *work* with the given grain size."""
+    if grain < 1:
+        raise ValueError(f"grain must be >= 1, got {grain}")
+    ctx = LoopContext(config, n_threads, work)
+    run_work_stealing(
+        ctx,
+        split_threshold=grain,
+        task_cycles=config.spawn_cycles,
+        tls_entries=tls_entries,
+        lazy_tls=tls_mode is TlsMode.HOLDER,
+        seed=seed,
+    )
+    stats = ctx.finish(fork)
+    if tls_entries and tls_mode is TlsMode.WORKER_ID:
+        stats.tls_inits = n_threads
+    return stats

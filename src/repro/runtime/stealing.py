@@ -1,0 +1,139 @@
+"""Generic work-stealing loop execution (shared by Cilk Plus and TBB).
+
+Workers keep a deque of index ranges.  A worker repeatedly pops the
+*bottom* (most recently pushed) range; ranges larger than the split
+threshold are halved — the right half is pushed back, costing one task
+spawn — until an executable leaf remains (lazy binary splitting, which is
+how both ``cilk_for`` (§II-B) and TBB's partitioners (§II-C) unfold a
+loop).  An idle worker steals the *top* (oldest, largest) range of a
+random victim, paying a ring round-trip.  Work therefore spreads through
+a binary steal chain, reaching full parallelism after ~log2(t) steal
+latencies — the distribution behaviour that separates these runtimes from
+OpenMP's flat chunk counter in the paper's Figure 1.
+"""
+
+from __future__ import annotations
+
+from collections import deque as _deque
+from typing import Callable
+
+import numpy as np
+
+from repro.runtime.base import LoopContext
+from repro.sim.engine import Condition
+
+__all__ = ["run_work_stealing"]
+
+
+def run_work_stealing(
+    ctx: LoopContext,
+    *,
+    split_threshold: int,
+    task_cycles: float,
+    per_chunk_cycles: float = 0.0,
+    tls_entries: int = 0,
+    lazy_tls: bool = True,
+    initial_ranges: list[tuple[int, int]] | None = None,
+    deal_round_robin: bool = False,
+    seed: int = 0,
+) -> None:
+    """Spawn the worker processes for one stolen-loop execution.
+
+    Parameters
+    ----------
+    split_threshold:
+        Ranges strictly larger than this are split before execution.
+    task_cycles:
+        Cost of one split (task allocation + deque push).
+    per_chunk_cycles:
+        Extra dispatch cost per executed leaf (e.g. TBB affinity mailbox
+        checks).
+    tls_entries / lazy_tls:
+        Thread-local scratch size; lazy (holder/ETS) init happens right
+        before a worker's first leaf and includes a heap allocation,
+        eager (worker-ID) init happens at region entry on every worker.
+    initial_ranges / deal_round_robin:
+        Starting distribution: by default the whole range sits on worker 0
+        (stealing spreads it); the affinity partitioner pre-deals ranges
+        round-robin.
+    """
+    if split_threshold < 1:
+        raise ValueError(f"split_threshold must be >= 1, got {split_threshold}")
+    n, t = len(ctx.work), ctx.n_threads
+    rng = np.random.default_rng(seed)
+
+    deques: list[_deque] = [_deque() for _ in range(t)]
+    if initial_ranges is None:
+        initial_ranges = [(0, n)] if n else []
+    if deal_round_robin:
+        for i, rng_item in enumerate(initial_ranges):
+            deques[i % t].append(rng_item)
+    else:
+        for rng_item in initial_ranges:
+            deques[0].append(rng_item)
+
+    remaining = [sum(hi - lo for lo, hi in initial_ranges)]
+    # Idle workers with nothing to steal sleep on a generation condition
+    # instead of polling: it fires whenever a deque turns non-empty (or all
+    # work finishes), which keeps the event count proportional to the task
+    # count rather than to idle time.
+    signal = [Condition(ctx.engine)]
+
+    def notify():
+        fired, signal[0] = signal[0], Condition(ctx.engine)
+        fired.fire()
+
+    def body(wid: int):
+        my = deques[wid]
+        tls_done = False
+        if tls_entries and not lazy_tls:
+            yield ctx.tls_first_touch_cycles(tls_entries, lazy=False)
+            tls_done = True
+        while True:
+            if my:
+                lo, hi = my.pop()
+                while hi - lo > split_threshold:
+                    mid = (lo + hi) // 2
+                    was_empty = not my
+                    my.append((mid, hi))
+                    ctx.stats.tasks_spawned += 1
+                    ctx.stats.sched_cycles += task_cycles
+                    if was_empty:
+                        notify()
+                    yield task_cycles
+                    hi = mid
+                if tls_entries and lazy_tls and not tls_done:
+                    yield ctx.tls_first_touch_cycles(tls_entries, lazy=True)
+                    ctx.stats.tls_inits += 1
+                    tls_done = True
+                if per_chunk_cycles:
+                    ctx.stats.sched_cycles += per_chunk_cycles
+                    yield per_chunk_cycles
+                yield from ctx.execute_chunk(wid, lo, hi)
+                remaining[0] -= hi - lo
+                if remaining[0] <= 0:
+                    notify()
+                continue
+            if remaining[0] <= 0:
+                break
+            gen = signal[0]  # capture before scanning (lost-wakeup safety)
+            victims = [w for w in range(t) if w != wid and deques[w]]
+            if victims:
+                victim = victims[int(rng.integers(len(victims)))]
+                yield ctx.config.steal_cycles
+                ctx.stats.sched_cycles += ctx.config.steal_cycles
+                if deques[victim]:  # may have drained during the steal RTT
+                    was_empty = not my
+                    my.append(deques[victim].popleft())
+                    ctx.stats.steals += 1
+                    if was_empty and len(my) > 1:
+                        notify()
+                else:
+                    ctx.stats.failed_steals += 1
+            else:
+                ctx.stats.failed_steals += 1
+                yield gen
+        yield ctx.barrier
+
+    for wid in range(t):
+        ctx.engine.spawn(body(wid))

@@ -1,0 +1,75 @@
+"""Simulated TBB ``parallel_for`` with the three native partitioners
+(§II-C, §IV-A3).
+
+* **simple** — recursively splits every range down to the minimum chunk
+  size: the most tasks, the finest load balance (the paper's best TBB
+  variant at 31+ threads).
+* **auto** — splits until roughly ``4 × threads`` subranges exist, then
+  only splits further when a range gets stolen: fewer tasks, coarser
+  balance.
+* **affinity** — auto-style granularity, but subranges are pre-dealt
+  round-robin to the workers (modelling the iteration-to-thread replay
+  mailboxes) and every executed leaf pays an extra mailbox lookup — the
+  bookkeeping that made it "consistently slower than the auto partitioner"
+  in the paper's Figure 1(c).
+
+Thread-local scratch uses ``enumerable_thread_specific``: lazily created
+per worker on first touch, like a Cilk holder.  TBB task objects are heap
+entities, so a split costs slightly more than a Cilk spawn.
+"""
+
+from __future__ import annotations
+
+from repro.machine.config import MachineConfig
+from repro.machine.costs import WorkCosts
+from repro.runtime.base import LoopContext, Partitioner
+from repro.runtime.stealing import run_work_stealing
+from repro.sim.stats import LoopStats
+
+__all__ = ["tbb_parallel_for"]
+
+#: TBB task allocation/refcount overhead relative to a bare Cilk spawn.
+TASK_OVERHEAD_FACTOR = 1.6
+#: Affinity-partitioner mailbox lookup per executed leaf, in units of the
+#: machine's per-chunk dispatch cost.
+MAILBOX_FACTOR = 12.0
+
+
+def tbb_parallel_for(
+    config: MachineConfig,
+    n_threads: int,
+    work: WorkCosts,
+    partitioner: Partitioner = Partitioner.SIMPLE,
+    chunk: int = 100,
+    tls_entries: int = 0,
+    fork: bool = True,
+    seed: int = 0,
+) -> LoopStats:
+    """Simulate ``tbb::parallel_for(blocked_range(0, n, chunk), body, p)``."""
+    if chunk < 1:
+        raise ValueError(f"chunk must be >= 1, got {chunk}")
+    n = len(work)
+    ctx = LoopContext(config, n_threads, work)
+    task_cycles = config.spawn_cycles * TASK_OVERHEAD_FACTOR
+
+    if partitioner is Partitioner.SIMPLE:
+        run_work_stealing(ctx, split_threshold=chunk, task_cycles=task_cycles,
+                          tls_entries=tls_entries, lazy_tls=True, seed=seed)
+    elif partitioner is Partitioner.AUTO:
+        threshold = max(chunk, -(-n // (4 * n_threads)) if n else chunk)
+        run_work_stealing(ctx, split_threshold=threshold,
+                          task_cycles=task_cycles,
+                          tls_entries=tls_entries, lazy_tls=True, seed=seed)
+    elif partitioner is Partitioner.AFFINITY:
+        threshold = max(chunk, -(-n // (4 * n_threads)) if n else chunk)
+        ranges = [(lo, min(lo + threshold, n)) for lo in range(0, n, threshold)]
+        run_work_stealing(ctx, split_threshold=threshold,
+                          task_cycles=task_cycles,
+                          per_chunk_cycles=MAILBOX_FACTOR * config.sched_chunk_cycles,
+                          tls_entries=tls_entries, lazy_tls=True,
+                          initial_ranges=ranges, deal_round_robin=True,
+                          seed=seed)
+    else:  # pragma: no cover - enum is closed
+        raise ValueError(f"unknown partitioner {partitioner!r}")
+
+    return ctx.finish(fork)

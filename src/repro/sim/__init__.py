@@ -1,0 +1,21 @@
+"""Deterministic discrete-event simulation core."""
+
+from repro.sim.engine import Engine, Barrier, Condition, Process
+from repro.sim.resources import AtomicVar, TicketLock, MemoryChannel
+from repro.sim.stats import ChunkExec, LoopStats
+from repro.sim.trace import gantt, thread_utilization, breakdown
+
+__all__ = [
+    "Engine",
+    "Barrier",
+    "Condition",
+    "Process",
+    "AtomicVar",
+    "TicketLock",
+    "MemoryChannel",
+    "ChunkExec",
+    "LoopStats",
+    "gantt",
+    "thread_utilization",
+    "breakdown",
+]

@@ -1,0 +1,146 @@
+"""A small deterministic discrete-event engine.
+
+Simulated threads are Python generators that ``yield`` requests:
+
+* a non-negative number — advance simulated time by that many cycles,
+* a :class:`Barrier` — block until all parties arrive,
+* a :class:`Condition` — block until :meth:`Condition.fire` is called.
+
+The engine is deterministic: ties in time are broken by scheduling order
+(a monotonically increasing sequence number), so identical inputs always
+produce identical schedules — a property the tests assert and the
+experiment harness relies on for reproducibility.
+
+Time is measured in clock cycles (floats).  Resources with queueing
+semantics (atomics, memory channels) live in :mod:`repro.sim.resources`
+and use time-reservation rather than engine-level blocking, which keeps
+the event count per simulated kernel proportional to the number of
+*chunks*, not the number of memory operations.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Callable, Generator, Iterable
+
+__all__ = ["Engine", "Barrier", "Condition", "Process"]
+
+
+class Engine:
+    """Event loop: a heap of ``(time, seq, callback)`` entries."""
+
+    def __init__(self):
+        self._now = 0.0
+        self._heap: list = []
+        self._seq = count()
+        self._active = 0  # processes not yet finished
+
+    @property
+    def now(self) -> float:
+        """Current simulated time (cycles)."""
+        return self._now
+
+    def schedule(self, delay: float, fn: Callable, *args) -> None:
+        """Run ``fn(*args)`` after *delay* cycles."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        heapq.heappush(self._heap, (self._now + delay, next(self._seq), fn, args))
+
+    def spawn(self, gen: Generator) -> "Process":
+        """Register a generator as a simulated process, starting now."""
+        return Process(self, gen)
+
+    def run(self, until: float | None = None) -> float:
+        """Process events until the heap is empty (or *until* is reached).
+
+        Returns the final simulated time.
+        """
+        while self._heap:
+            t, _, fn, args = self._heap[0]
+            if until is not None and t > until:
+                break
+            heapq.heappop(self._heap)
+            self._now = t
+            fn(*args)
+        if self._active and until is None:
+            raise RuntimeError(
+                f"deadlock: {self._active} process(es) blocked with no pending events")
+        return self._now
+
+
+class Process:
+    """A generator-backed simulated thread (see module docstring)."""
+
+    def __init__(self, engine: Engine, gen: Generator):
+        self.engine = engine
+        self.gen = gen
+        self.finished = False
+        engine._active += 1
+        engine.schedule(0.0, self._step)
+
+    def _step(self) -> None:
+        try:
+            request = self.gen.send(None)
+        except StopIteration:
+            self.finished = True
+            self.engine._active -= 1
+            return
+        if isinstance(request, (int, float)):
+            self.engine.schedule(float(request), self._step)
+        elif isinstance(request, (Barrier, Condition)):
+            request._block(self)
+        else:
+            raise TypeError(f"process yielded unsupported request {request!r}")
+
+
+class Barrier:
+    """Reusable synchronisation barrier for *parties* processes.
+
+    Release is charged ``cost_fn(parties)`` cycles after the last arrival
+    (e.g. a logarithmic ring-hop tree on the simulated chip).
+    """
+
+    def __init__(self, engine: Engine, parties: int,
+                 cost_fn: Callable[[int], float] | None = None):
+        if parties < 1:
+            raise ValueError(f"parties must be >= 1, got {parties}")
+        self.engine = engine
+        self.parties = parties
+        self.cost_fn = cost_fn or (lambda n: 0.0)
+        self._waiting: list[Process] = []
+        self.trips = 0
+
+    def _block(self, proc: Process) -> None:
+        self._waiting.append(proc)
+        if len(self._waiting) == self.parties:
+            waiting, self._waiting = self._waiting, []
+            self.trips += 1
+            release_delay = self.cost_fn(self.parties)
+            for p in waiting:
+                self.engine.schedule(release_delay, p._step)
+
+
+class Condition:
+    """One-shot wakeup: processes block until :meth:`fire` is called.
+
+    Processes that wait after the condition has fired resume immediately.
+    """
+
+    def __init__(self, engine: Engine):
+        self.engine = engine
+        self.fired = False
+        self._waiting: list[Process] = []
+
+    def _block(self, proc: Process) -> None:
+        if self.fired:
+            self.engine.schedule(0.0, proc._step)
+        else:
+            self._waiting.append(proc)
+
+    def fire(self) -> None:
+        """Wake all current and future waiters."""
+        self.fired = True
+        waiting, self._waiting = self._waiting, []
+        for p in waiting:
+            self.engine.schedule(0.0, p._step)

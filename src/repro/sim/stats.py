@@ -1,0 +1,56 @@
+"""Execution statistics collected during a simulated parallel loop."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ChunkExec", "LoopStats"]
+
+
+@dataclass(frozen=True)
+class ChunkExec:
+    """One executed chunk: items ``[lo, hi)`` ran on *thread* over
+    ``[start, end)`` simulated cycles."""
+
+    lo: int
+    hi: int
+    thread: int
+    start: float
+    end: float
+
+    @property
+    def size(self) -> int:
+        """Items in the chunk."""
+        return self.hi - self.lo
+
+    @property
+    def duration(self) -> float:
+        """Simulated cycles the chunk occupied its thread."""
+        return self.end - self.start
+
+
+@dataclass
+class LoopStats:
+    """Aggregate accounting for one simulated ``parallel_for``."""
+
+    span: float = 0.0                 # elapsed cycles, fork to join
+    busy_cycles: float = 0.0          # sum of chunk durations over threads
+    sched_cycles: float = 0.0         # chunk fetch / task bookkeeping
+    atomic_operations: int = 0
+    atomic_wait_cycles: float = 0.0
+    steals: int = 0
+    failed_steals: int = 0
+    tasks_spawned: int = 0
+    tls_inits: int = 0
+    chunks: list[ChunkExec] = field(default_factory=list)
+
+    @property
+    def n_chunks(self) -> int:
+        """Chunks executed during the loop."""
+        return len(self.chunks)
+
+    def utilization(self, n_threads: int) -> float:
+        """Busy fraction of the thread-cycle budget (0 when span is 0)."""
+        if self.span <= 0 or n_threads <= 0:
+            return 0.0
+        return self.busy_cycles / (self.span * n_threads)

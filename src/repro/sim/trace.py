@@ -1,0 +1,71 @@
+"""Execution-trace diagnostics: ASCII Gantt charts and breakdowns.
+
+Turns a :class:`~repro.sim.stats.LoopStats` chunk schedule into the kind
+of picture you'd want when a sweep surprises you: who ran what when,
+per-thread busy fractions, and where the cycles went.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sim.stats import LoopStats
+
+__all__ = ["gantt", "thread_utilization", "breakdown"]
+
+
+def gantt(stats: LoopStats, width: int = 72, max_threads: int = 32) -> str:
+    """ASCII Gantt chart of the chunk schedule.
+
+    One row per thread; ``#`` marks executing time, ``.`` idle.  Rows
+    beyond *max_threads* are elided with a summary line.
+    """
+    if not stats.chunks:
+        return "(no chunks executed)"
+    span = stats.span if stats.span > 0 else max(c.end for c in stats.chunks)
+    threads = sorted({c.thread for c in stats.chunks})
+    lines = [f"span = {span:.0f} cycles, {len(stats.chunks)} chunks, "
+             f"{len(threads)} active threads"]
+    scale = width / span
+
+    shown = threads[:max_threads]
+    for t in shown:
+        row = np.zeros(width, dtype=bool)
+        for c in stats.chunks:
+            if c.thread != t:
+                continue
+            lo = int(c.start * scale)
+            hi = max(lo + 1, int(np.ceil(c.end * scale)))
+            row[lo:min(hi, width)] = True
+        bar = "".join("#" if b else "." for b in row)
+        lines.append(f"t{t:3d} |{bar}|")
+    if len(threads) > max_threads:
+        lines.append(f"... {len(threads) - max_threads} more threads elided")
+    return "\n".join(lines)
+
+
+def thread_utilization(stats: LoopStats) -> dict[int, float]:
+    """Busy fraction of the span, per thread that executed anything."""
+    if stats.span <= 0:
+        return {}
+    busy: dict[int, float] = {}
+    for c in stats.chunks:
+        busy[c.thread] = busy.get(c.thread, 0.0) + c.duration
+    return {t: b / stats.span for t, b in sorted(busy.items())}
+
+
+def breakdown(stats: LoopStats, n_threads: int) -> str:
+    """One-paragraph accounting of where the loop's cycles went."""
+    util = stats.utilization(n_threads)
+    lines = [
+        f"span {stats.span:.0f} cycles, busy {stats.busy_cycles:.0f} "
+        f"thread-cycles ({util:.0%} of {n_threads}-thread budget)",
+        f"scheduling {stats.sched_cycles:.0f} cycles "
+        f"({stats.atomic_operations} atomics waiting "
+        f"{stats.atomic_wait_cycles:.0f}, {stats.steals} steals, "
+        f"{stats.failed_steals} failed probes, "
+        f"{stats.tasks_spawned} tasks)",
+    ]
+    if stats.tls_inits:
+        lines.append(f"{stats.tls_inits} thread-local initialisations")
+    return "\n".join(lines)

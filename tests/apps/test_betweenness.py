@@ -1,0 +1,75 @@
+"""Betweenness centrality (validated against networkx)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.betweenness import betweenness_centrality, simulate_betweenness
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import chain, complete, erdos_renyi, grid2d, star
+
+
+class TestBetweenness:
+    def test_star_center_dominates(self):
+        scores = betweenness_centrality(star(9), normalized=True)
+        assert scores[0] == pytest.approx(1.0)
+        assert np.allclose(scores[1:], 0.0)
+
+    def test_chain_middle_highest(self):
+        scores = betweenness_centrality(chain(7), normalized=False)
+        assert np.argmax(scores) == 3
+        # endpoint lies on no shortest path between others
+        assert scores[0] == pytest.approx(0.0)
+
+    def test_complete_graph_all_zero(self):
+        scores = betweenness_centrality(complete(6))
+        assert np.allclose(scores, 0.0)
+
+    @pytest.mark.parametrize("maker,args", [
+        (chain, (8,)), (grid2d, (4, 4)), (erdos_renyi, (30, 90)), (star, (7,)),
+    ])
+    def test_matches_networkx(self, maker, args):
+        nx = pytest.importorskip("networkx")
+        g = maker(*args)
+        ours = betweenness_centrality(g, normalized=True)
+        ng = nx.Graph(list(map(tuple, g.edge_array())))
+        ng.add_nodes_from(range(g.n_vertices))
+        theirs = nx.betweenness_centrality(ng, normalized=True)
+        for v in range(g.n_vertices):
+            assert ours[v] == pytest.approx(theirs[v], abs=1e-9), v
+
+    def test_disconnected_graph(self):
+        nx = pytest.importorskip("networkx")
+        g = CSRGraph.from_edges(6, [(0, 1), (1, 2), (3, 4), (4, 5)])
+        ours = betweenness_centrality(g, normalized=False)
+        ng = nx.Graph(list(map(tuple, g.edge_array())))
+        ng.add_nodes_from(range(6))
+        theirs = nx.betweenness_centrality(ng, normalized=False)
+        for v in range(6):
+            assert ours[v] == pytest.approx(theirs[v], abs=1e-9)
+
+    def test_sampled_estimate_close(self):
+        g = erdos_renyi(60, 240, seed=1)
+        exact = betweenness_centrality(g, normalized=True)
+        approx = betweenness_centrality(g, sources=30, normalized=True, seed=2)
+        # top-ranked vertex should be near the top of the estimate
+        top = int(np.argmax(exact))
+        assert approx[top] >= 0.5 * exact[top]
+
+    def test_invalid_sources(self):
+        with pytest.raises(ValueError):
+            betweenness_centrality(chain(4), sources=0)
+        with pytest.raises(ValueError):
+            betweenness_centrality(chain(4), sources=5)
+
+    def test_empty(self):
+        assert len(betweenness_centrality(CSRGraph.from_edges(0, []))) == 0
+
+
+class TestSimulatedBetweenness:
+    def test_prices_forward_sweeps(self, tiny_machine):
+        g = erdos_renyi(200, 800, seed=4)
+        r = simulate_betweenness(g, 4, sources=3, config=tiny_machine,
+                                 cache_scale=0.05, seed=1)
+        assert r.n_sources == 3
+        assert r.total_cycles > 0
+        assert len(r.scores) == g.n_vertices

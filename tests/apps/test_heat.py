@@ -1,0 +1,70 @@
+"""Heat-diffusion application."""
+
+import numpy as np
+import pytest
+
+from repro.apps.heat import heat_diffusion
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import chain, grid2d
+
+
+class TestHeat:
+    def test_linear_profile_on_chain(self):
+        """Steady state between two fixed ends is the linear interpolant."""
+        n = 11
+        r = heat_diffusion(chain(n), {0: 0.0, n - 1: 10.0}, tol=1e-12,
+                           max_iterations=100_000)
+        assert r.converged
+        assert np.allclose(r.temperature, np.linspace(0, 10, n), atol=1e-4)
+
+    def test_maximum_principle(self):
+        """Interior temperatures stay within the boundary range."""
+        g = grid2d(8, 8)
+        r = heat_diffusion(g, {0: 1.0, 63: 5.0}, tol=1e-10,
+                           max_iterations=100_000)
+        assert r.converged
+        assert r.temperature.min() >= 1.0 - 1e-6
+        assert r.temperature.max() <= 5.0 + 1e-6
+
+    def test_uniform_boundary_gives_uniform_field(self):
+        g = grid2d(5, 5)
+        r = heat_diffusion(g, {0: 2.0, 24: 2.0}, tol=1e-12,
+                           max_iterations=100_000)
+        assert np.allclose(r.temperature, 2.0, atol=1e-5)
+
+    def test_harmonic_at_interior(self):
+        """Converged interior vertices equal their neighbour average."""
+        g = grid2d(6, 6)
+        r = heat_diffusion(g, {0: 0.0, 35: 9.0}, tol=1e-12,
+                           max_iterations=200_000)
+        for v in range(g.n_vertices):
+            if v in (0, 35):
+                continue
+            nbr_avg = r.temperature[g.neighbors(v)].mean()
+            assert r.temperature[v] == pytest.approx(nbr_avg, abs=1e-4)
+
+    def test_boundary_values_pinned(self):
+        g = grid2d(4, 4)
+        r = heat_diffusion(g, {3: -1.0, 12: 4.0})
+        assert r.temperature[3] == -1.0
+        assert r.temperature[12] == 4.0
+
+    def test_isolated_vertex_keeps_initial(self):
+        g = CSRGraph.from_edges(3, [(0, 1)])
+        r = heat_diffusion(g, {0: 5.0}, initial=np.array([0.0, 0.0, 7.0]))
+        assert r.temperature[2] == 7.0
+
+    def test_invalid_inputs(self):
+        g = chain(4)
+        with pytest.raises(ValueError, match="out of range"):
+            heat_diffusion(g, {9: 1.0})
+        with pytest.raises(ValueError, match="finite"):
+            heat_diffusion(g, {0: float("nan")})
+        with pytest.raises(ValueError, match="length"):
+            heat_diffusion(g, {0: 1.0}, initial=np.zeros(3))
+
+    def test_non_convergence_reported(self):
+        r = heat_diffusion(chain(50), {0: 0.0, 49: 1.0}, tol=1e-14,
+                           max_iterations=5)
+        assert not r.converged
+        assert r.iterations == 5

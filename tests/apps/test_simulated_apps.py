@@ -1,0 +1,38 @@
+"""Simulated-machine integration for the applications package."""
+
+import numpy as np
+import pytest
+
+from repro.apps import simulate_betweenness, simulate_pagerank
+from repro.graph.generators import tube_mesh
+from repro.machine.config import KNF
+from repro.runtime.base import ProgrammingModel, RuntimeSpec
+
+
+@pytest.fixture(scope="module")
+def mesh():
+    return tube_mesh(1200, 60, 10, 1.0, 3, seed=21)
+
+
+class TestAppsOnMachine:
+    def test_pagerank_scales_like_irregular_kernel(self, mesh):
+        spec = RuntimeSpec(ProgrammingModel.OPENMP, chunk=8)
+        t1 = simulate_pagerank(mesh, 1, iterations=4, spec=spec, config=KNF,
+                               cache_scale=0.05).total_cycles
+        t31 = simulate_pagerank(mesh, 31, iterations=4, spec=spec, config=KNF,
+                                cache_scale=0.05).total_cycles
+        assert t1 / t31 > 10
+
+    def test_betweenness_costs_scale_with_sources(self, mesh):
+        r2 = simulate_betweenness(mesh, 8, sources=2, config=KNF,
+                                  cache_scale=0.05, seed=3)
+        r4 = simulate_betweenness(mesh, 8, sources=4, config=KNF,
+                                  cache_scale=0.05, seed=3)
+        assert r4.total_cycles > 1.5 * r2.total_cycles
+        assert r4.n_sources == 4
+
+    def test_deterministic(self, mesh):
+        a = simulate_betweenness(mesh, 8, sources=3, config=KNF, seed=5)
+        b = simulate_betweenness(mesh, 8, sources=3, config=KNF, seed=5)
+        assert a.total_cycles == b.total_cycles
+        assert np.array_equal(a.scores, b.scores)

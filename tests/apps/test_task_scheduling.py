@@ -1,0 +1,73 @@
+"""Task-graph phase scheduling via colouring (§I application)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.task_scheduling import phase_schedule, schedule_makespan
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import chain, complete, erdos_renyi, star
+
+
+class TestPhaseSchedule:
+    def test_phases_are_independent_sets(self):
+        g = erdos_renyi(50, 200, seed=2)
+        sched = phase_schedule(g)
+        for phase in sched.phases:
+            phase_set = set(phase.tolist())
+            for v in phase:
+                assert not (set(g.neighbors(v).tolist()) & phase_set)
+
+    def test_every_task_scheduled_once(self):
+        g = erdos_renyi(40, 120, seed=3)
+        sched = phase_schedule(g)
+        all_tasks = np.concatenate(sched.phases)
+        assert sorted(all_tasks) == list(range(40))
+
+    def test_independent_tasks_one_phase(self):
+        g = CSRGraph.from_edges(5, [])
+        sched = phase_schedule(g)
+        assert sched.n_phases == 1
+        assert sched.n_synchronizations == 0
+
+    def test_all_conflicting_tasks_serialise(self):
+        sched = phase_schedule(complete(6))
+        assert sched.n_phases == 6
+
+    def test_rejects_improper_coloring(self):
+        g = chain(3)
+        with pytest.raises(ValueError, match="proper"):
+            phase_schedule(g, colors=np.array([1, 1, 1]))
+
+    def test_explicit_coloring_used(self):
+        g = chain(4)
+        sched = phase_schedule(g, colors=np.array([1, 2, 3, 4]))
+        assert sched.n_phases == 4  # wasteful but proper
+
+
+class TestMakespan:
+    def test_single_worker_is_total_work(self):
+        g = star(9)
+        sched = phase_schedule(g)
+        assert schedule_makespan(sched, 1, task_cost=2.0) == 9 * 2.0
+
+    def test_many_workers_bounded_by_phases(self):
+        g = erdos_renyi(60, 200, seed=4)
+        sched = phase_schedule(g)
+        assert schedule_makespan(sched, 1000) == sched.n_phases
+
+    def test_fewer_colors_fewer_syncs(self):
+        """§I: minimising colours decreases synchronisation points."""
+        g = chain(10)  # 2-colourable
+        good = phase_schedule(g)
+        bad = phase_schedule(g, colors=np.arange(1, 11))
+        barrier = 5.0
+        assert good.n_synchronizations < bad.n_synchronizations
+        assert schedule_makespan(good, 8, barrier_cost=barrier) < \
+            schedule_makespan(bad, 8, barrier_cost=barrier)
+
+    def test_invalid_args(self):
+        sched = phase_schedule(chain(4))
+        with pytest.raises(ValueError):
+            schedule_makespan(sched, 0)
+        with pytest.raises(ValueError):
+            schedule_makespan(sched, 2, task_cost=-1.0)

@@ -1,0 +1,20 @@
+"""Chunk-size tuning sweep (§V-B methodology)."""
+
+from repro.experiments.chunk_sweep import CHUNK_SIZES, run_chunk_sweep
+from repro.runtime.base import Schedule
+
+
+class TestChunkSweep:
+    def test_sweep_shape(self):
+        panel = run_chunk_sweep(Schedule.DYNAMIC, graphs=["hood"],
+                                threads=[1, 31, 121])
+        assert len(panel.series) == len(CHUNK_SIZES)
+        top = panel.thread_counts[-1]
+        values = {label: panel.at(label, top) for label in panel.series}
+        # the tuning tradeoff exists: neither the smallest nor the largest
+        # chunk is strictly dominant at full thread count
+        best = max(values, key=values.get)
+        assert best not in (f"chunk={CHUNK_SIZES[-1]}",)
+        # very coarse chunks quantise badly at 121 threads
+        assert values[f"chunk={CHUNK_SIZES[0]}"] > \
+            0.5 * values[best]

@@ -1,0 +1,26 @@
+"""Fig 4 helper functions."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.fig4_bfs import BLOCK_SIZE, model_series
+
+
+class TestModelSeries:
+    def test_normalised_at_one_thread(self):
+        s = model_series(["pwtk"], [1, 31, 121])
+        assert s[0] == pytest.approx(1.0)
+        assert np.all(np.diff(s) >= -1e-9)
+
+    def test_geomean_over_graphs(self):
+        a = model_series(["pwtk"], [1, 31])
+        b = model_series(["inline_1"], [1, 31])
+        ab = model_series(["pwtk", "inline_1"], [1, 31])
+        assert ab[1] == pytest.approx(np.sqrt(a[1] * b[1]))
+
+    def test_block_size_matters(self):
+        """Smaller blocks expose more per-level parallelism in the model
+        (the normalisation point is the 1-thread entry)."""
+        wide = model_series(["pwtk"], [1, 31], block=1)
+        coarse = model_series(["pwtk"], [1, 31], block=BLOCK_SIZE * 8)
+        assert wide[1] > coarse[1]

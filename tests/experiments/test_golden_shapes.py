@@ -1,0 +1,50 @@
+"""Golden-value regression pins for the calibrated figure shapes.
+
+These guard the calibration (EXPERIMENTS.md "Calibration disclosure")
+against accidental drift: if a change to the machine constants, cost
+model or runtimes moves the headline numbers by more than the band, a
+test fails and the change must be re-justified against the paper.
+
+Bands are ±20% around values measured on the hood+pwtk subset at
+{1, 31, 121} threads (seeded, deterministic).
+"""
+
+import pytest
+
+GRAPHS = ["hood", "pwtk"]
+THREADS = [1, 31, 121]
+
+
+@pytest.fixture(scope="module")
+def fig1():
+    from repro.experiments.fig1_coloring import run_fig1
+    return run_fig1(graphs=GRAPHS, threads=THREADS)
+
+
+class TestGoldenFig1:
+    def test_openmp_dynamic(self, fig1):
+        panel = next(p for t, p in fig1.items() if "OpenMP" in t)
+        assert panel.at("OpenMP-dynamic", 121) == pytest.approx(45.3, rel=0.2)
+
+    def test_cilk_holder(self, fig1):
+        panel = next(p for t, p in fig1.items() if "Cilk" in t)
+        assert panel.at("CilkPlus-holder", 121) == pytest.approx(24.0, rel=0.2)
+
+    def test_tbb_simple(self, fig1):
+        panel = next(p for t, p in fig1.items() if "TBB" in t)
+        assert panel.at("TBB-simple", 121) == pytest.approx(36.4, rel=0.2)
+
+
+class TestGoldenFig2:
+    def test_openmp_superlinear(self):
+        from repro.experiments.fig2_shuffled import run_fig2
+        panel = run_fig2(graphs=GRAPHS, threads=THREADS)
+        assert panel.at("OpenMP-dynamic", 121) == pytest.approx(142.7, rel=0.2)
+
+
+class TestGoldenFig3:
+    def test_openmp_ten_iterations(self):
+        from repro.experiments.fig3_irregular import run_fig3
+        panels = run_fig3(graphs=GRAPHS, threads=THREADS)
+        panel = next(p for t, p in panels.items() if "OpenMP" in t)
+        assert panel.at("10 iterations", 121) == pytest.approx(42.7, rel=0.2)

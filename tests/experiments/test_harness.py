@@ -1,0 +1,131 @@
+"""Experiment harness: sweeps, baselines, aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.harness import (PanelResult, geomean, panel_graphs,
+                                       panel_threads, run_panel)
+
+
+class TestGeomean:
+    def test_basic(self):
+        assert geomean([2, 8]) == pytest.approx(4.0)
+        assert geomean([5]) == pytest.approx(5.0)
+
+    def test_degenerate(self):
+        assert geomean([]) == 0.0
+        assert geomean([1.0, 0.0]) == 0.0
+        assert geomean([-1.0, 2.0]) == 0.0
+
+
+class TestEnvKnobs:
+    def test_defaults(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FAST", raising=False)
+        monkeypatch.delenv("REPRO_GRAPHS", raising=False)
+        monkeypatch.delenv("REPRO_THREADS", raising=False)
+        assert len(panel_graphs()) == 7
+        assert panel_threads() == [1] + list(range(11, 122, 10))
+        assert max(panel_threads(host=True)) == 24
+
+    def test_fast_mode(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAST", "1")
+        assert len(panel_graphs()) == 3
+        assert len(panel_threads()) == 5
+
+    def test_explicit_graphs(self, monkeypatch):
+        monkeypatch.setenv("REPRO_GRAPHS", "pwtk,auto")
+        assert panel_graphs() == ["pwtk", "auto"]
+
+    def test_unknown_graph_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_GRAPHS", "pwtk,nope")
+        with pytest.raises(ValueError, match="unknown"):
+            panel_graphs()
+
+    def test_explicit_threads(self, monkeypatch):
+        monkeypatch.setenv("REPRO_THREADS", "31,1,11")
+        assert panel_threads() == [1, 11, 31]
+
+
+class TestRunPanel:
+    @staticmethod
+    def runner(graph, variant, t):
+        # synthetic: "fast" halves cycles; scaling is 1/t with overhead
+        base = 1000.0 if variant == "fast" else 2000.0
+        base *= 2.0 if graph == "g2" else 1.0
+        return base / t + 10.0
+
+    def test_shared_baseline_is_fastest_t1(self):
+        panel = run_panel("p", self.runner, ["fast", "slow"],
+                          graphs=["g1", "g2"], threads=[1, 10])
+        assert panel.baselines["g1"] == pytest.approx(1010.0)
+        assert panel.baselines["g2"] == pytest.approx(2010.0)
+        # slow variant never exceeds fast's curve under shared baseline
+        assert np.all(panel.series["slow"] <= panel.series["fast"])
+
+    def test_per_variant_baseline(self):
+        panel = run_panel("p", self.runner, ["fast", "slow"],
+                          graphs=["g1"], threads=[1, 10],
+                          per_variant_baseline=True)
+        # each variant normalised by itself: both start at exactly 1.0
+        assert panel.series["fast"][0] == pytest.approx(1.0)
+        assert panel.series["slow"][0] == pytest.approx(1.0)
+
+    def test_thread_one_always_included(self):
+        panel = run_panel("p", self.runner, ["fast"], graphs=["g1"],
+                          threads=[10, 20])
+        assert panel.thread_counts[0] == 1
+
+    def test_geomean_across_graphs(self):
+        panel = run_panel("p", self.runner, ["fast"],
+                          graphs=["g1", "g2"], threads=[1, 10])
+        s1 = panel.per_graph[("fast", "g1")]
+        s2 = panel.per_graph[("fast", "g2")]
+        expected = np.sqrt(s1 * s2)
+        assert np.allclose(panel.series["fast"], expected)
+
+    def test_best_and_at(self):
+        panel = run_panel("p", self.runner, ["fast"], graphs=["g1"],
+                          threads=[1, 10, 20])
+        t, v = panel.best("fast")
+        assert t == 20
+        assert v == panel.at("fast", 20)
+
+
+class TestRepeatAverage:
+    def test_averages_last_k(self):
+        from repro.experiments.harness import repeat_average
+        calls = []
+
+        def fn(seed):
+            calls.append(seed)
+            return float(seed)
+
+        # seeds 0..9, average of last 5 => mean(5..9) = 7
+        assert repeat_average(fn, runs=10, keep_last=5) == 7.0
+        assert calls == list(range(10))
+
+    def test_invalid(self):
+        from repro.experiments.harness import repeat_average
+        import pytest
+        with pytest.raises(ValueError):
+            repeat_average(lambda s: 1.0, runs=0)
+        with pytest.raises(ValueError):
+            repeat_average(lambda s: 1.0, runs=3, keep_last=4)
+
+
+class TestPerGraphReport:
+    def test_unfolds_geomean(self):
+        from repro.experiments.report import format_panel_per_graph
+        from repro.experiments.harness import run_panel
+
+        panel = run_panel("p", TestRunPanel.runner, ["fast"],
+                          graphs=["g1", "g2"], threads=[1, 10])
+        out = format_panel_per_graph(panel, "fast")
+        assert "g1" in out and "g2" in out
+
+    def test_unknown_variant(self):
+        import pytest
+        from repro.experiments.report import format_panel_per_graph
+        from repro.experiments.harness import PanelResult
+        with pytest.raises(KeyError):
+            format_panel_per_graph(PanelResult("t", [1]), "nope")

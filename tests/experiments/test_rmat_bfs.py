@@ -1,0 +1,22 @@
+"""R-MAT (Graph500-style) BFS extension experiment."""
+
+from repro.experiments.rmat_bfs import rmat_direction_savings, run_rmat_bfs
+
+
+class TestRmatBfs:
+    def test_shapes(self):
+        panel = run_rmat_bfs(scales=[13], threads=[1, 31, 121])
+        top = panel.thread_counts[-1]
+        # wide frontiers: the model predicts near-linear scaling
+        assert panel.at("Model", top) > 0.6 * top
+        # the measured block queue is hub-limited well below the model
+        # (no per-vertex parallelism), but still far above the bag
+        assert panel.at("OpenMP-Block-relaxed", 31) > \
+            2 * panel.at("CilkPlus-Bag-relaxed", 31)
+        assert panel.at("OpenMP-Block-relaxed", top) < 0.5 * panel.at("Model", top)
+
+    def test_direction_optimizing_saves_most_edges(self):
+        s = rmat_direction_savings(13)
+        # low-diameter power-law graph: bottom-up skips >80% of edge work
+        assert s["saving"] > 0.8
+        assert "bottom-up" in s["directions"]

@@ -1,0 +1,48 @@
+"""Panel JSON serialisation round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.harness import PanelResult
+from repro.experiments.save import (load_panels, panel_from_dict,
+                                    panel_to_dict, save_panels)
+
+
+def make_panel():
+    p = PanelResult(title="demo", thread_counts=[1, 31, 121], notes="n")
+    p.series = {"A": np.array([1.0, 20.5, 70.0]),
+                "B": np.array([0.9, 18.0, 50.0])}
+    p.per_graph = {("A", "g1"): np.array([1.0, 21.0, 72.0]),
+                   ("A", "g2"): np.array([1.0, 20.0, 68.1])}
+    p.baselines = {"g1": 1e6, "g2": 2e6}
+    return p
+
+
+class TestRoundTrip:
+    def test_dict_roundtrip(self):
+        p = make_panel()
+        q = panel_from_dict(panel_to_dict(p))
+        assert q.title == p.title
+        assert q.thread_counts == p.thread_counts
+        assert np.allclose(q.series["A"], p.series["A"])
+        assert np.allclose(q.per_graph[("A", "g2")], p.per_graph[("A", "g2")])
+        assert q.baselines == p.baselines
+        assert q.notes == "n"
+
+    def test_file_roundtrip_single(self, tmp_path):
+        path = tmp_path / "p.json"
+        save_panels(make_panel(), path)
+        loaded = load_panels(path)
+        assert list(loaded) == ["demo"]
+        assert loaded["demo"].at("A", 121) == pytest.approx(70.0)
+
+    def test_file_roundtrip_dict(self, tmp_path):
+        path = tmp_path / "p.json"
+        save_panels({"x": make_panel()}, path)
+        assert "x" in load_panels(path)
+
+    def test_rejects_foreign_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{}")
+        with pytest.raises(ValueError):
+            load_panels(path)

@@ -1,0 +1,90 @@
+"""Tests for MatrixMarket / edge-list I/O."""
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import erdos_renyi, grid2d
+from repro.graph.io import (load_graph, read_edge_list, read_matrix_market,
+                            write_edge_list, write_matrix_market)
+
+
+class TestMatrixMarket:
+    def test_roundtrip(self, tmp_path):
+        g = erdos_renyi(40, 120, seed=1)
+        path = tmp_path / "g.mtx"
+        write_matrix_market(g, path)
+        g2 = read_matrix_market(path)
+        assert g.structurally_equal(g2)
+
+    def test_header_written(self, tmp_path):
+        g = grid2d(3, 3)
+        path = tmp_path / "g.mtx"
+        write_matrix_market(g, path)
+        first = path.read_text().splitlines()[0]
+        assert first.startswith("%%MatrixMarket matrix coordinate pattern symmetric")
+
+    def test_reads_general_with_values(self, tmp_path):
+        """Value-carrying coordinate files parse (values ignored)."""
+        path = tmp_path / "v.mtx"
+        path.write_text("%%MatrixMarket matrix coordinate real general\n"
+                        "% comment line\n"
+                        "3 3 4\n1 2 0.5\n2 1 0.5\n2 3 -1\n3 2 -1\n")
+        g = read_matrix_market(path)
+        assert g.n_vertices == 3
+        assert g.n_edges == 2
+        assert g.has_edge(0, 1) and g.has_edge(1, 2)
+
+    def test_rejects_missing_header(self, tmp_path):
+        path = tmp_path / "bad.mtx"
+        path.write_text("3 3 1\n1 2\n")
+        with pytest.raises(ValueError, match="header"):
+            read_matrix_market(path)
+
+    def test_rejects_nonsquare(self, tmp_path):
+        path = tmp_path / "ns.mtx"
+        path.write_text("%%MatrixMarket matrix coordinate pattern general\n"
+                        "2 3 1\n1 2\n")
+        with pytest.raises(ValueError, match="square"):
+            read_matrix_market(path)
+
+    def test_rejects_array_format(self, tmp_path):
+        path = tmp_path / "arr.mtx"
+        path.write_text("%%MatrixMarket matrix array real general\n2 2\n1\n")
+        with pytest.raises(ValueError, match="coordinate"):
+            read_matrix_market(path)
+
+    def test_name_defaults_to_stem(self, tmp_path):
+        g = grid2d(2, 2)
+        path = tmp_path / "mygraph.mtx"
+        write_matrix_market(g, path)
+        assert read_matrix_market(path).name == "mygraph"
+
+
+class TestEdgeList:
+    def test_roundtrip(self, tmp_path):
+        g = erdos_renyi(30, 70, seed=2)
+        path = tmp_path / "g.edges"
+        write_edge_list(g, path)
+        g2 = read_edge_list(path)
+        assert g.structurally_equal(g2)
+
+    def test_comments_and_blanks_ignored(self, tmp_path):
+        path = tmp_path / "c.edges"
+        path.write_text("# header\n\n0 1\n1 2  # trailing\n")
+        g = read_edge_list(path)
+        assert g.n_edges == 2
+
+    def test_malformed_line_rejected(self, tmp_path):
+        path = tmp_path / "bad.edges"
+        path.write_text("0 1 2\n")
+        with pytest.raises(ValueError, match="expected"):
+            read_edge_list(path)
+
+
+class TestLoadGraph:
+    def test_dispatch_by_extension(self, tmp_path):
+        g = grid2d(3, 4)
+        write_matrix_market(g, tmp_path / "a.mtx")
+        write_edge_list(g, tmp_path / "a.edges")
+        assert load_graph(tmp_path / "a.mtx").structurally_equal(g)
+        assert load_graph(tmp_path / "a.edges").structurally_equal(g)

@@ -1,0 +1,69 @@
+"""Tests for vertex reordering."""
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import tube_mesh
+from repro.graph.reorder import (ORDERINGS, apply_ordering, degree_order,
+                                 natural_order, random_order, rcm_order)
+
+
+@pytest.fixture(scope="module")
+def banded():
+    return tube_mesh(800, 40, 10, 1.0, 3, seed=5)
+
+
+def bandwidth(g):
+    src = np.repeat(np.arange(g.n_vertices), g.degrees)
+    return int(np.abs(src - g.indices).max()) if len(g.indices) else 0
+
+
+def mean_distance(g):
+    src = np.repeat(np.arange(g.n_vertices), g.degrees)
+    return float(np.abs(src - g.indices).mean()) if len(g.indices) else 0.0
+
+
+class TestOrderings:
+    def test_natural_is_identity(self, banded):
+        assert np.array_equal(natural_order(banded), np.arange(800))
+        assert apply_ordering(banded, "natural") is banded
+
+    def test_all_return_permutations(self, banded):
+        for name, fn in ORDERINGS.items():
+            perm = fn(banded, seed=1)
+            assert sorted(perm) == list(range(banded.n_vertices)), name
+
+    def test_random_destroys_locality(self, banded):
+        """The paper's §V-B shuffle: breaks the natural band structure."""
+        shuffled = apply_ordering(banded, "random", seed=1)
+        assert mean_distance(shuffled) > 4 * mean_distance(banded)
+
+    def test_random_deterministic_per_seed(self, banded):
+        a = random_order(banded, seed=2)
+        b = random_order(banded, seed=2)
+        c = random_order(banded, seed=3)
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_rcm_reduces_random_bandwidth(self):
+        g = tube_mesh(400, 20, 6, 1.0, 2, seed=8)
+        shuffled = apply_ordering(g, "random", seed=0)
+        rcm = apply_ordering(shuffled, "rcm")
+        assert bandwidth(rcm) < bandwidth(shuffled) / 2
+
+    def test_degree_order_puts_hubs_first(self):
+        g = tube_mesh(400, 20, 6, 1.0, 2, hubs=2, hub_degree=50, seed=8)
+        ordered = apply_ordering(g, "degree")
+        assert ordered.degrees[0] == g.max_degree
+        assert np.all(np.diff(ordered.degrees) <= 0) or \
+            ordered.degrees[0] >= ordered.degrees[-1]
+
+    def test_apply_preserves_structure(self, banded):
+        for name in ORDERINGS:
+            g2 = apply_ordering(banded, name, seed=4)
+            assert g2.n_edges == banded.n_edges
+            assert sorted(g2.degrees) == sorted(banded.degrees)
+
+    def test_unknown_ordering_rejected(self, banded):
+        with pytest.raises(ValueError, match="unknown ordering"):
+            apply_ordering(banded, "zigzag")

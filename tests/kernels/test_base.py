@@ -1,0 +1,77 @@
+"""Shared kernel helpers: flat gather and wave partitioning."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.generators import erdos_renyi
+from repro.kernels.base import flat_gather, gather_neighbors, wave_partition
+from repro.sim.stats import ChunkExec
+
+
+class TestFlatGather:
+    def test_matches_python_loop(self):
+        g = erdos_renyi(50, 200, seed=1)
+        verts = np.array([3, 17, 42, 3])
+        nbrs, seg = gather_neighbors(g.indptr, g.indices, verts)
+        expected = []
+        expected_seg = []
+        for i, v in enumerate(verts):
+            for w in g.neighbors(v):
+                expected.append(w)
+                expected_seg.append(i)
+        assert list(nbrs) == expected
+        assert list(seg) == expected_seg
+
+    def test_empty_selection(self):
+        g = erdos_renyi(10, 20, seed=2)
+        nbrs, seg = gather_neighbors(g.indptr, g.indices,
+                                     np.zeros(0, dtype=np.int64))
+        assert len(nbrs) == 0 and len(seg) == 0
+
+    def test_isolated_vertices(self):
+        from repro.graph.csr import CSRGraph
+        g = CSRGraph.from_edges(5, [(0, 1)])
+        nbrs, seg = gather_neighbors(g.indptr, g.indices, np.array([2, 0, 3]))
+        assert list(nbrs) == [1]
+        assert list(seg) == [1]
+
+    @given(st.integers(1, 30), st.integers(0, 100), st.integers(0, 10**6))
+    @settings(max_examples=40, deadline=None)
+    def test_property_segment_lengths(self, n, m, seed):
+        rng = np.random.default_rng(seed)
+        from repro.graph.csr import CSRGraph
+        g = CSRGraph.from_edges(n, rng.integers(0, n, size=(m, 2)))
+        verts = rng.integers(0, n, size=7)
+        nbrs, seg = gather_neighbors(g.indptr, g.indices, verts)
+        assert len(nbrs) == g.degrees[verts].sum()
+        if len(seg):
+            counts = np.bincount(seg, minlength=7)
+            assert np.array_equal(counts, g.degrees[verts])
+
+
+class TestWavePartition:
+    @staticmethod
+    def chunk(lo, start, thread=0):
+        return ChunkExec(lo=lo, hi=lo + 1, thread=thread, start=start,
+                         end=start + 1.0)
+
+    def test_sorted_by_start(self):
+        chunks = [self.chunk(0, 5.0), self.chunk(1, 1.0), self.chunk(2, 3.0)]
+        waves = wave_partition(chunks, 2)
+        starts = [c.start for w in waves for c in w]
+        assert starts == sorted(starts)
+
+    def test_wave_sizes(self):
+        chunks = [self.chunk(i, float(i)) for i in range(7)]
+        waves = wave_partition(chunks, 3)
+        assert [len(w) for w in waves] == [3, 3, 1]
+
+    def test_empty(self):
+        assert wave_partition([], 4) == []
+
+    def test_tie_broken_by_thread(self):
+        chunks = [self.chunk(0, 1.0, thread=2), self.chunk(1, 1.0, thread=0)]
+        waves = wave_partition(chunks, 1)
+        assert waves[0][0].thread == 0

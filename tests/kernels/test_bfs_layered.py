@@ -1,0 +1,129 @@
+"""Simulated layered parallel BFS (Algorithm 7 + §IV-C variants)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import chain, erdos_renyi, tube_mesh
+from repro.kernels.bfs.layered import BFS_VARIANTS, bfs_parallel, simulate_bfs
+from repro.kernels.bfs.sequential import bfs_sequential
+
+
+@pytest.fixture(scope="module")
+def mesh():
+    return tube_mesh(1200, 40, 10, 1.0, 3, seed=8)
+
+
+@pytest.mark.parametrize("variant", BFS_VARIANTS)
+@pytest.mark.parametrize("relaxed", [True, False])
+@pytest.mark.parametrize("n_threads", [1, 4, 8])
+def test_distances_always_exact(mesh, variant, relaxed, n_threads,
+                                tiny_machine):
+    """The races are benign: every variant labels distances exactly."""
+    run = simulate_bfs(mesh, n_threads, variant=variant, relaxed=relaxed,
+                       block=8, config=tiny_machine, cache_scale=0.05, seed=1)
+    assert np.array_equal(run.dist, bfs_sequential(mesh, mesh.n_vertices // 2))
+
+
+class TestBehaviour:
+    def test_level_count_recorded(self, mesh, tiny_machine):
+        run = simulate_bfs(mesh, 4, config=tiny_machine, block=8)
+        ref = bfs_sequential(mesh, mesh.n_vertices // 2)
+        assert run.n_levels == ref.max() + 1 - 1 + 1  # levels incl. source
+        assert len(run.level_spans) == run.n_levels
+
+    def test_single_thread_no_duplicates(self, mesh, tiny_machine):
+        run = simulate_bfs(mesh, 1, config=tiny_machine, block=8)
+        assert run.duplicates == 0
+
+    def test_locked_never_duplicates(self, mesh, tiny_machine):
+        run = simulate_bfs(mesh, 8, relaxed=False, config=tiny_machine,
+                           block=8, seed=2)
+        assert run.duplicates == 0
+
+    def test_relaxed_faster_than_locked(self, mesh, tiny_machine):
+        """§V-D: relaxed queues consistently beat lock-based ones."""
+        relaxed = simulate_bfs(mesh, 8, relaxed=True, config=tiny_machine,
+                               block=8, seed=2)
+        locked = simulate_bfs(mesh, 8, relaxed=False, config=tiny_machine,
+                              block=8, seed=2)
+        assert relaxed.total_cycles < locked.total_cycles
+
+    def test_sentinels_only_in_block_variants(self, mesh, tiny_machine):
+        block = simulate_bfs(mesh, 4, variant="openmp-block",
+                             config=tiny_machine, block=8)
+        tls = simulate_bfs(mesh, 4, variant="openmp-tls",
+                           config=tiny_machine, block=8)
+        bag = simulate_bfs(mesh, 4, variant="cilk-bag",
+                           config=tiny_machine, block=8)
+        assert block.sentinels > 0
+        assert tls.sentinels == 0
+        assert bag.sentinels == 0
+
+    def test_bag_slower_than_block(self, mesh, tiny_machine):
+        """Fig 4(c): the pennant bag scales poorly vs. the block queue."""
+        block = simulate_bfs(mesh, 8, variant="openmp-block",
+                             config=tiny_machine, block=8, seed=1)
+        bag = simulate_bfs(mesh, 8, variant="cilk-bag",
+                           config=tiny_machine, block=8, seed=1)
+        assert bag.total_cycles > block.total_cycles
+
+    def test_speedup_with_threads(self, mesh, tiny_machine):
+        t1 = simulate_bfs(mesh, 1, config=tiny_machine, block=8,
+                          cache_scale=0.05).total_cycles
+        t8 = simulate_bfs(mesh, 8, config=tiny_machine, block=8,
+                          cache_scale=0.05, seed=1).total_cycles
+        assert t1 / t8 > 1.5
+
+    def test_deterministic(self, mesh, tiny_machine):
+        a = simulate_bfs(mesh, 8, config=tiny_machine, block=8, seed=5)
+        b = simulate_bfs(mesh, 8, config=tiny_machine, block=8, seed=5)
+        assert a.total_cycles == b.total_cycles
+        assert a.duplicates == b.duplicates
+
+    def test_chain_has_no_parallelism(self, tiny_machine):
+        """The paper's §III-C extreme case: a chain exposes none."""
+        g = chain(300)
+        t1 = simulate_bfs(g, 1, source=0, config=tiny_machine,
+                          block=8).total_cycles
+        t8 = simulate_bfs(g, 8, source=0, config=tiny_machine,
+                          block=8, seed=1).total_cycles
+        assert t1 / t8 < 1.2
+
+    def test_explicit_source(self, mesh, tiny_machine):
+        run = simulate_bfs(mesh, 2, source=0, config=tiny_machine, block=8)
+        assert run.dist[0] == 0
+        assert np.array_equal(run.dist, bfs_sequential(mesh, 0))
+
+    def test_empty_graph(self, tiny_machine):
+        run = simulate_bfs(CSRGraph.from_edges(0, []), 2, config=tiny_machine)
+        assert run.n_levels == 0
+
+    def test_invalid_args(self, mesh, tiny_machine):
+        with pytest.raises(ValueError, match="variant"):
+            simulate_bfs(mesh, 2, variant="magic", config=tiny_machine)
+        with pytest.raises(ValueError, match="block"):
+            simulate_bfs(mesh, 2, block=0, config=tiny_machine)
+        with pytest.raises(ValueError, match="source"):
+            simulate_bfs(mesh, 2, source=10**9, config=tiny_machine)
+
+    def test_bfs_parallel_convenience(self, mesh, tiny_machine):
+        d = bfs_parallel(mesh, source=3, n_threads=4, config=tiny_machine)
+        assert np.array_equal(d, bfs_sequential(mesh, 3))
+
+
+@given(st.integers(2, 40), st.integers(0, 120), st.integers(0, 10**6),
+       st.sampled_from(["openmp-block", "tbb-block", "openmp-tls", "cilk-bag"]),
+       st.booleans())
+@settings(max_examples=25, deadline=None)
+def test_property_exact_on_random_graphs(n, m, seed, variant, relaxed):
+    rng = np.random.default_rng(seed)
+    g = CSRGraph.from_edges(n, rng.integers(0, n, size=(m, 2)))
+    from repro.machine.config import KNF
+    machine = KNF.with_(name="t", n_cores=4, smt_per_core=2)
+    src = int(rng.integers(n))
+    run = simulate_bfs(g, 1 + seed % 8, variant=variant, relaxed=relaxed,
+                       source=src, block=4, config=machine, seed=seed)
+    assert np.array_equal(run.dist, bfs_sequential(g, src))

@@ -1,0 +1,78 @@
+"""Sequential BFS (Algorithm 6) and the frontier profile."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import chain, complete, erdos_renyi, grid2d, star
+from repro.kernels.bfs.sequential import (bfs_fifo, bfs_sequential,
+                                          frontier_profile)
+
+
+class TestBfs:
+    def test_chain_distances(self):
+        d = bfs_sequential(chain(6), 0)
+        assert list(d) == [0, 1, 2, 3, 4, 5]
+
+    def test_star_distances(self):
+        d = bfs_sequential(star(6), 0)
+        assert d[0] == 0
+        assert np.all(d[1:] == 1)
+
+    def test_unreachable_minus_one(self):
+        g = CSRGraph.from_edges(5, [(0, 1), (2, 3)])
+        d = bfs_sequential(g, 0)
+        assert list(d) == [0, 1, -1, -1, -1]
+
+    def test_source_out_of_range(self):
+        with pytest.raises(ValueError):
+            bfs_sequential(chain(4), 4)
+        with pytest.raises(ValueError):
+            bfs_fifo(chain(4), -1)
+
+    def test_grid_manhattan_distance(self):
+        d = bfs_sequential(grid2d(5, 5), 0)
+        assert d[4] == 4      # (4, 0)
+        assert d[24] == 8     # (4, 4)
+
+    def test_matches_fifo_oracle(self):
+        g = erdos_renyi(120, 500, seed=7)
+        assert np.array_equal(bfs_sequential(g, 13), bfs_fifo(g, 13))
+
+    def test_triangle_inequality_over_edges(self):
+        g = erdos_renyi(100, 350, seed=8)
+        d = bfs_sequential(g, 0)
+        for u, v in g.edge_array():
+            if d[u] >= 0 and d[v] >= 0:
+                assert abs(d[u] - d[v]) <= 1
+
+
+class TestFrontierProfile:
+    def test_chain(self):
+        widths = frontier_profile(chain(7), 0)
+        assert list(widths) == [1] * 7
+
+    def test_total_equals_reachable(self):
+        g = erdos_renyi(150, 500, seed=9)
+        widths = frontier_profile(g, 10)
+        d = bfs_sequential(g, 10)
+        assert widths.sum() == (d >= 0).sum()
+
+    def test_complete(self):
+        widths = frontier_profile(complete(9), 0)
+        assert list(widths) == [1, 8]
+
+    def test_empty_graph(self):
+        g = CSRGraph.from_edges(1, [])
+        assert list(frontier_profile(g, 0)) == [1]
+
+
+@given(st.integers(2, 40), st.integers(0, 120), st.integers(0, 2**31 - 1))
+@settings(max_examples=50, deadline=None)
+def test_property_vectorised_matches_fifo(n, m, seed):
+    rng = np.random.default_rng(seed)
+    g = CSRGraph.from_edges(n, rng.integers(0, n, size=(m, 2)))
+    src = int(rng.integers(n))
+    assert np.array_equal(bfs_sequential(g, src), bfs_fifo(g, src))

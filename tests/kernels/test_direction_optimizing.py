@@ -1,0 +1,63 @@
+"""Direction-optimising BFS extension."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import chain, erdos_renyi, rmat, star, tube_mesh
+from repro.kernels.bfs.direction_optimizing import bfs_direction_optimizing
+from repro.kernels.bfs.sequential import bfs_sequential
+
+
+class TestDirectionOptimizing:
+    @pytest.mark.parametrize("maker,args,src", [
+        (chain, (50,), 0), (star, (20,), 3), (erdos_renyi, (150, 600), 7),
+        (tube_mesh, (800, 40, 8, 1.0, 3), 400), (rmat, (9, 8), 1),
+    ])
+    def test_exact_distances(self, maker, args, src):
+        g = maker(*args)
+        r = bfs_direction_optimizing(g, src)
+        assert np.array_equal(r.dist, bfs_sequential(g, src))
+
+    def test_chain_stays_top_down(self):
+        """Narrow frontiers never trigger the bottom-up switch."""
+        r = bfs_direction_optimizing(chain(200), 0)
+        assert set(r.directions) == {"top-down"}
+
+    def test_dense_graph_switches(self):
+        """A small-diameter dense graph hits the bottom-up regime."""
+        g = erdos_renyi(400, 8000, seed=2)
+        r = bfs_direction_optimizing(g, 0, alpha=8.0)
+        assert "bottom-up" in r.directions
+
+    def test_saves_edge_examinations_when_switching(self):
+        g = erdos_renyi(500, 12000, seed=3)
+        r = bfs_direction_optimizing(g, 0, alpha=8.0)
+        if "bottom-up" in r.directions:
+            assert r.edges_examined < r.edges_examined_topdown_only
+
+    def test_disconnected(self):
+        g = CSRGraph.from_edges(6, [(0, 1), (3, 4)])
+        r = bfs_direction_optimizing(g, 0)
+        assert list(r.dist) == [0, 1, -1, -1, -1, -1]
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            bfs_direction_optimizing(chain(4), 9)
+        with pytest.raises(ValueError):
+            bfs_direction_optimizing(chain(4), 0, alpha=0)
+        with pytest.raises(ValueError):
+            bfs_direction_optimizing(chain(4), 0, beta=-1)
+
+    @given(st.integers(2, 40), st.integers(0, 150), st.integers(0, 10**6),
+           st.floats(0.5, 16.0), st.floats(2.0, 64.0))
+    @settings(max_examples=40, deadline=None)
+    def test_property_exact_for_any_switching(self, n, m, seed, alpha, beta):
+        """Distances are exact regardless of the α/β heuristic."""
+        rng = np.random.default_rng(seed)
+        g = CSRGraph.from_edges(n, rng.integers(0, n, size=(m, 2)))
+        src = int(rng.integers(n))
+        r = bfs_direction_optimizing(g, src, alpha=alpha, beta=beta)
+        assert np.array_equal(r.dist, bfs_sequential(g, src))

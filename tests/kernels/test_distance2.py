@@ -1,0 +1,68 @@
+"""Distance-2 colouring extension."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import chain, complete, grid2d, star
+from repro.kernels.coloring.distance2 import (greedy_distance2_coloring,
+                                              verify_distance2_coloring)
+from repro.kernels.coloring.sequential import greedy_coloring
+
+
+class TestDistance2:
+    def test_star_needs_n_colors(self):
+        """Every pair of leaves is at distance 2 through the hub."""
+        n, colors = greedy_distance2_coloring(star(8))
+        assert n == 8
+        assert verify_distance2_coloring(star(8), colors)
+
+    def test_chain_three_colors(self):
+        n, colors = greedy_distance2_coloring(chain(9))
+        assert n == 3
+        assert verify_distance2_coloring(chain(9), colors)
+
+    def test_complete(self):
+        g = complete(6)
+        n, colors = greedy_distance2_coloring(g)
+        assert n == 6
+
+    def test_grid(self):
+        g = grid2d(6, 6)
+        n, colors = greedy_distance2_coloring(g)
+        assert verify_distance2_coloring(g, colors)
+        assert 4 <= n <= g.max_degree ** 2 + 1
+
+    def test_at_least_distance1(self):
+        g = grid2d(5, 5)
+        n2, _ = greedy_distance2_coloring(g)
+        n1, _ = greedy_coloring(g)
+        assert n2 >= n1
+
+    def test_isolated_vertices(self):
+        g = CSRGraph.from_edges(3, [])
+        n, colors = greedy_distance2_coloring(g)
+        assert n == 1
+        assert verify_distance2_coloring(g, colors)
+
+    def test_verifier_rejects_distance2_clash(self):
+        g = chain(3)  # 0-1-2: 0 and 2 are distance 2
+        bad = np.array([1, 2, 1])
+        assert not verify_distance2_coloring(g, bad)
+        good = np.array([1, 2, 3])
+        assert verify_distance2_coloring(g, good)
+
+    def test_verifier_rejects_incomplete(self):
+        assert not verify_distance2_coloring(chain(3), np.array([1, 0, 2]))
+        assert not verify_distance2_coloring(chain(3), np.array([1, 2]))
+
+    @given(st.integers(2, 25), st.integers(0, 60), st.integers(0, 10**6))
+    @settings(max_examples=40, deadline=None)
+    def test_property_always_valid(self, n, m, seed):
+        rng = np.random.default_rng(seed)
+        g = CSRGraph.from_edges(n, rng.integers(0, n, size=(m, 2)))
+        n_colors, colors = greedy_distance2_coloring(g)
+        assert verify_distance2_coloring(g, colors)
+        assert n_colors <= g.max_degree ** 2 + 1

@@ -1,0 +1,123 @@
+"""Irregular-computation microbenchmark (Algorithm 5)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import chain, complete, star, tube_mesh
+from repro.kernels.irregular import (IrregularRun, irregular_kernel,
+                                     simulate_irregular)
+from repro.runtime.base import ProgrammingModel, RuntimeSpec
+
+
+@pytest.fixture(scope="module")
+def mesh():
+    return tube_mesh(800, 40, 10, 1.0, 3, seed=4)
+
+
+class TestKernelSemantics:
+    def test_uniform_state_fixed_point(self):
+        """All-equal states are a fixed point of neighbour averaging."""
+        g = complete(6)
+        out = irregular_kernel(g, np.full(6, 3.5), iterations=4)
+        assert np.allclose(out, 3.5)
+
+    def test_single_average_step(self):
+        g = star(4)  # vertex 0 adjacent to 1,2,3
+        state = np.array([0.0, 4.0, 4.0, 4.0])
+        out = irregular_kernel(g, state, iterations=1)
+        assert out[0] == pytest.approx((0 + 12) / 4)  # sum / (deg+1)
+        # spokes computed from the ORIGINAL state of vertex 0 (Jacobi)
+        assert out[1] == pytest.approx((4 + 0) / 2)
+
+    def test_input_not_modified(self):
+        g = chain(5)
+        state = np.ones(5)
+        irregular_kernel(g, state, iterations=3)
+        assert np.all(state == 1.0)
+
+    def test_isolated_vertex_stays(self):
+        g = CSRGraph.from_edges(3, [(0, 1)])
+        out = irregular_kernel(g, np.array([2.0, 2.0, 7.0]), iterations=5)
+        assert out[2] == pytest.approx(7.0)
+
+    def test_mean_preserved_on_regular_graph(self):
+        """On a d-regular graph averaging preserves the total mean."""
+        g = complete(8)  # 7-regular
+        rng = np.random.default_rng(0)
+        state = rng.random(8)
+        out = irregular_kernel(g, state, iterations=3)
+        assert out.mean() == pytest.approx(state.mean())
+
+    def test_invalid_args(self):
+        g = chain(4)
+        with pytest.raises(ValueError):
+            irregular_kernel(g, iterations=0)
+        with pytest.raises(ValueError):
+            irregular_kernel(g, np.ones(3), iterations=1)
+
+    @given(st.integers(2, 30), st.integers(0, 80), st.integers(0, 10**6),
+           st.integers(1, 6))
+    @settings(max_examples=40, deadline=None)
+    def test_property_contraction(self, n, m, seed, iters):
+        """Averaging never expands the state range."""
+        rng = np.random.default_rng(seed)
+        g = CSRGraph.from_edges(n, rng.integers(0, n, size=(m, 2)))
+        state = rng.uniform(-10, 10, n)
+        out = irregular_kernel(g, state, iterations=iters)
+        assert out.max() <= state.max() + 1e-9
+        assert out.min() >= state.min() - 1e-9
+
+
+class TestSimulation:
+    def test_returns_timing(self, mesh, tiny_machine):
+        run = simulate_irregular(mesh, 4, iterations=2, config=tiny_machine)
+        assert isinstance(run, IrregularRun)
+        assert run.total_cycles > 0
+        assert run.iterations == 2
+
+    def test_more_iterations_cost_more(self, mesh, tiny_machine):
+        t1 = simulate_irregular(mesh, 4, 1, config=tiny_machine).total_cycles
+        t5 = simulate_irregular(mesh, 4, 5, config=tiny_machine).total_cycles
+        assert t5 > 3 * t1
+
+    def test_compute_state_flag(self, mesh, tiny_machine):
+        run = simulate_irregular(mesh, 2, 2, config=tiny_machine,
+                                 compute_state=True)
+        assert run.state is not None
+        assert np.allclose(run.state,
+                           irregular_kernel(mesh, iterations=2))
+
+    def test_speedup_saturates_when_compute_bound(self, mesh, tiny_machine):
+        """Fig 3 mechanism: with SMT oversubscription a memory-bound run
+        (iter=1 on a shuffled graph) scales past the core count, while a
+        compute-bound one (iter=10) caps near it."""
+        from repro.graph.reorder import apply_ordering
+
+        smt4 = tiny_machine.with_(smt_per_core=4)
+        shuffled = apply_ordering(mesh, "random", seed=2)
+        spec = RuntimeSpec(ProgrammingModel.OPENMP, chunk=5)
+
+        def speedup(iters):
+            t1 = simulate_irregular(shuffled, 1, iters, spec=spec,
+                                    config=smt4,
+                                    cache_scale=0.012).total_cycles
+            t16 = simulate_irregular(shuffled, 16, iters, spec=spec,
+                                     config=smt4,
+                                     cache_scale=0.012, seed=1).total_cycles
+            return t1 / t16
+
+        assert speedup(1) > 1.3 * speedup(10)
+        assert speedup(10) < 3.0 * smt4.n_cores
+        assert speedup(1) > smt4.n_cores  # SMT hides the latency
+
+    def test_default_spec(self, mesh, tiny_machine):
+        run = simulate_irregular(mesh, 2, 1, spec=None, config=tiny_machine)
+        assert run.total_cycles > 0
+
+    def test_empty_graph(self, tiny_machine):
+        run = simulate_irregular(CSRGraph.from_edges(0, []), 2, 1,
+                                 config=tiny_machine)
+        assert run.total_cycles == 0.0

@@ -1,0 +1,75 @@
+"""Jones-Plassmann colouring baseline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import chain, complete, erdos_renyi, tube_mesh
+from repro.kernels.coloring.jones_plassmann import (jones_plassmann_coloring,
+                                                    simulate_jones_plassmann)
+from repro.kernels.coloring.verify import verify_coloring
+
+
+class TestJonesPlassmann:
+    def test_valid_coloring(self):
+        g = erdos_renyi(120, 500, seed=1)
+        n, colors, rounds = jones_plassmann_coloring(g, seed=2)
+        assert verify_coloring(g, colors)
+        assert n <= g.max_degree + 1
+        assert rounds >= 1
+
+    def test_complete_graph_serialises(self):
+        g = complete(7)
+        n, colors, rounds = jones_plassmann_coloring(g)
+        assert n == 7
+        assert rounds == 7  # one winner per round
+
+    def test_chain_few_rounds(self):
+        n, colors, rounds = jones_plassmann_coloring(chain(100), seed=3)
+        assert verify_coloring(chain(100), colors)
+        assert n <= 3
+        assert rounds < 30  # O(log n)-ish, certainly << n
+
+    def test_deterministic_per_seed(self):
+        g = erdos_renyi(60, 200, seed=5)
+        a = jones_plassmann_coloring(g, seed=7)
+        b = jones_plassmann_coloring(g, seed=7)
+        assert np.array_equal(a[1], b[1])
+
+    def test_empty(self):
+        n, colors, rounds = jones_plassmann_coloring(CSRGraph.from_edges(0, []))
+        assert n == 0 and rounds == 0
+
+    @given(st.integers(2, 40), st.integers(0, 120), st.integers(0, 10**6))
+    @settings(max_examples=40, deadline=None)
+    def test_property_always_valid(self, n, m, seed):
+        rng = np.random.default_rng(seed)
+        g = CSRGraph.from_edges(n, rng.integers(0, n, size=(m, 2)))
+        n_colors, colors, _ = jones_plassmann_coloring(g, seed=seed)
+        assert verify_coloring(g, colors)
+
+
+class TestSimulatedJonesPlassmann:
+    def test_matches_direct_algorithm(self, tiny_machine):
+        g = tube_mesh(600, 30, 8, 1.0, 3, seed=4)
+        run = simulate_jones_plassmann(g, 4, config=tiny_machine,
+                                       cache_scale=0.05, seed=9)
+        n, colors, rounds = jones_plassmann_coloring(g, seed=9)
+        assert np.array_equal(run.colors, colors)
+        assert run.rounds == rounds
+        assert run.total_cycles > 0
+
+    def test_more_rounds_than_speculative(self, tiny_machine):
+        """JP needs many more rounds than the paper's speculative scheme
+        (its advantage is zero conflicts, not fewer rounds)."""
+        from repro.kernels.coloring.parallel import parallel_coloring
+
+        g = tube_mesh(900, 45, 10, 1.0, 3, seed=5)
+        jp = simulate_jones_plassmann(g, 8, config=tiny_machine,
+                                      cache_scale=0.05, seed=1)
+        spec_run = parallel_coloring(g, 8, config=tiny_machine,
+                                     cache_scale=0.05, seed=1)
+        assert jp.rounds > 2 * spec_run.rounds
+        assert verify_coloring(g, jp.colors)

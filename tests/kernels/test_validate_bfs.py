@@ -1,0 +1,59 @@
+"""Graph500-style BFS validation."""
+
+import numpy as np
+import pytest
+
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import chain, erdos_renyi, grid2d
+from repro.kernels.bfs.sequential import bfs_sequential
+from repro.kernels.bfs.validate import BfsValidationError, validate_bfs
+
+
+class TestValidateBfs:
+    def test_accepts_correct_bfs(self):
+        for g, src in [(chain(20), 3), (grid2d(5, 5), 12),
+                       (erdos_renyi(80, 300, seed=1), 0)]:
+            assert validate_bfs(g, src, bfs_sequential(g, src))
+
+    def test_rejects_wrong_source_distance(self):
+        g = chain(5)
+        d = bfs_sequential(g, 0)
+        d[0] = 1
+        assert not validate_bfs(g, 0, d, raise_on_error=False)
+
+    def test_rejects_edge_spanning_two_levels(self):
+        g = chain(5)
+        d = np.array([0, 1, 3, 4, 5])  # edge 1-2 spans levels 1->3
+        with pytest.raises(BfsValidationError, match="spans"):
+            validate_bfs(g, 0, d)
+
+    def test_rejects_orphan_level(self):
+        g = CSRGraph.from_edges(4, [(0, 1), (1, 2), (2, 3)])
+        d = np.array([0, 1, 2, 2])  # vertex 3 at level 2 but parent at 2
+        with pytest.raises(BfsValidationError):
+            validate_bfs(g, 0, d)
+
+    def test_rejects_unreached_reachable_vertex(self):
+        g = chain(4)
+        d = np.array([0, 1, 2, -1])  # 3 is reachable but unlabelled
+        with pytest.raises(BfsValidationError, match="unlabelled"):
+            validate_bfs(g, 0, d)
+
+    def test_rejects_two_roots(self):
+        g = CSRGraph.from_edges(4, [(0, 1), (2, 3)])
+        d = np.array([0, 1, 0, 1])  # second component wrongly labelled
+        with pytest.raises(BfsValidationError, match="distance 0"):
+            validate_bfs(g, 0, d)
+
+    def test_rejects_bad_lengths_and_sources(self):
+        g = chain(4)
+        assert not validate_bfs(g, 0, np.zeros(3), raise_on_error=False)
+        assert not validate_bfs(g, 9, np.zeros(4), raise_on_error=False)
+
+    def test_accepts_parallel_variants(self, tiny_machine):
+        from repro.kernels.bfs.layered import simulate_bfs
+        g = erdos_renyi(150, 600, seed=2)
+        for variant in ("openmp-block", "cilk-bag"):
+            run = simulate_bfs(g, 4, variant=variant, source=5, block=8,
+                               config=tiny_machine, seed=3)
+            assert validate_bfs(g, 5, run.dist)

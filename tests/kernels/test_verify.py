@@ -1,0 +1,43 @@
+"""Colouring validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import chain, complete
+from repro.kernels.coloring.verify import count_conflicts, verify_coloring
+
+
+class TestCountConflicts:
+    def test_no_conflicts(self):
+        g = chain(4)
+        assert count_conflicts(g, np.array([1, 2, 1, 2])) == 0
+
+    def test_counts_each_edge_once(self):
+        g = complete(3)
+        assert count_conflicts(g, np.array([1, 1, 1])) == 3
+
+    def test_uncolored_never_conflict(self):
+        g = chain(3)
+        assert count_conflicts(g, np.array([0, 0, 1])) == 0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            count_conflicts(chain(3), np.array([1, 2]))
+
+
+class TestVerify:
+    def test_valid(self):
+        assert verify_coloring(chain(5), np.array([1, 2, 1, 2, 1]))
+
+    def test_invalid_adjacent_same(self):
+        assert not verify_coloring(chain(3), np.array([1, 1, 2]))
+
+    def test_incomplete_rejected_by_default(self):
+        assert not verify_coloring(chain(3), np.array([1, 0, 1]))
+
+    def test_incomplete_allowed_when_partial(self):
+        assert verify_coloring(chain(3), np.array([1, 0, 1]),
+                               require_complete=False)
+
+    def test_wrong_length(self):
+        assert not verify_coloring(chain(3), np.array([1, 2]))

@@ -1,0 +1,92 @@
+"""Tests for the cache/locality model."""
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import tube_mesh
+from repro.graph.reorder import apply_ordering
+from repro.machine.cache import access_profile, access_profile_cached
+from repro.machine.config import KNF
+
+
+@pytest.fixture(scope="module")
+def banded():
+    return tube_mesh(2000, 100, 12, 1.0, 4, seed=2)
+
+
+@pytest.fixture(scope="module")
+def shuffled(banded):
+    return apply_ordering(banded, "random", seed=1)
+
+
+class TestAccessProfile:
+    def test_shapes(self, banded):
+        p = access_profile(banded, KNF, 4)
+        assert len(p.stall) == banded.n_vertices
+        assert len(p.volume) == banded.n_vertices
+        assert np.all(p.stall >= 0)
+        assert np.all(p.volume >= 0)
+
+    def test_probabilities_sum_to_one(self, banded):
+        p = access_profile(banded, KNF, 8)
+        assert p.p_local + p.p_remote + p.p_dram == pytest.approx(1.0)
+
+    def test_natural_order_mostly_local(self, banded):
+        p = access_profile(banded, KNF, 1, cache_scale=1.0)
+        assert p.p_local > 0.8
+
+    def test_shuffle_destroys_hits(self, banded, shuffled):
+        # cache scaled to the test graph's size, as the harness does
+        pn = access_profile(banded, KNF, 1, cache_scale=0.02)
+        ps = access_profile(shuffled, KNF, 1, cache_scale=0.02)
+        assert ps.p_local < 0.3 * pn.p_local + 0.1
+        assert ps.stall.mean() > 2 * pn.stall.mean()
+
+    def test_smt_residency_pressure(self, banded):
+        """More threads per core -> smaller cache share -> fewer hits."""
+        p1 = access_profile(banded, KNF, KNF.n_cores, cache_scale=0.05)
+        p4 = access_profile(banded, KNF, 4 * KNF.n_cores, cache_scale=0.05)
+        assert p4.p_local < p1.p_local
+
+    def test_aggregate_cache_residency(self, shuffled):
+        """More cores used -> misses served by peer caches, not DRAM."""
+        p1 = access_profile(shuffled, KNF, 1, cache_scale=0.1)
+        p31 = access_profile(shuffled, KNF, 31, cache_scale=0.1)
+        assert p1.p_dram > 0.5
+        assert p31.p_remote > 0.5
+        assert p31.p_dram < 0.1
+        # remote hits are cheaper, so the many-core stall is lower
+        assert p31.stall.mean() < p1.stall.mean()
+
+    def test_cache_scale_shrinks_hits(self, banded):
+        big = access_profile(banded, KNF, 1, cache_scale=1.0)
+        small = access_profile(banded, KNF, 1, cache_scale=0.01)
+        assert small.p_local < big.p_local
+
+    def test_state_bytes_increase_footprint(self, banded):
+        p4 = access_profile(banded, KNF, 1, state_bytes=4, cache_scale=0.05)
+        p8 = access_profile(banded, KNF, 1, state_bytes=8, cache_scale=0.05)
+        assert p8.p_local <= p4.p_local + 1e-9
+
+    def test_volume_includes_adjacency_stream(self, banded):
+        p = access_profile(banded, KNF, 31)
+        stream = banded.degrees * 4 / KNF.line_bytes
+        assert np.all(p.volume >= stream - 1e-9)
+
+    def test_empty_graph(self):
+        from repro.graph.csr import CSRGraph
+        p = access_profile(CSRGraph.from_edges(0, []), KNF, 1)
+        assert len(p.stall) == 0
+
+    def test_invalid_args(self, banded):
+        with pytest.raises(ValueError):
+            access_profile(banded, KNF, 0)
+        with pytest.raises(ValueError):
+            access_profile(banded, KNF, 1, state_bytes=0)
+        with pytest.raises(ValueError):
+            access_profile(banded, KNF, 1, cache_scale=0.0)
+
+    def test_cached_wrapper_identity(self, banded):
+        a = access_profile_cached(banded, KNF, 4, 4, 1.0)
+        b = access_profile_cached(banded, KNF, 4, 4, 1.0)
+        assert a is b

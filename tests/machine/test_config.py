@@ -1,0 +1,54 @@
+"""Machine configuration sanity (KNF and the host Xeon)."""
+
+import pytest
+
+from repro.machine.config import HOST_XEON, KNF
+
+
+class TestKnf:
+    def test_topology_matches_paper(self):
+        """§V-A: 31 usable cores, 4-way SMT, 121 threads used at most."""
+        assert KNF.n_cores == 31
+        assert KNF.smt_per_core == 4
+        assert KNF.max_threads == 124
+        assert KNF.max_threads >= 121
+
+    def test_in_order_pipeline(self):
+        assert KNF.issue_width == 1.0
+
+    def test_memory_hierarchy_ordering(self):
+        assert KNF.local_hit_cycles < KNF.remote_hit_cycles < KNF.dram_cycles
+
+    def test_cache_is_256k(self):
+        assert KNF.cache_lines_per_core * KNF.line_bytes == 256 * 1024
+
+
+class TestHostXeon:
+    def test_topology_matches_paper(self):
+        """§V-A: dual X5680 = 12 cores with HyperThreading (24 threads)."""
+        assert HOST_XEON.n_cores == 12
+        assert HOST_XEON.smt_per_core == 2
+        assert HOST_XEON.max_threads == 24
+
+    def test_out_of_order_advantages(self):
+        """The host hides more and issues more per cycle than the KNF."""
+        assert HOST_XEON.issue_width > KNF.issue_width
+        assert HOST_XEON.dram_cycles < KNF.dram_cycles
+        assert HOST_XEON.stream_visibility < KNF.stream_visibility
+        assert HOST_XEON.alloc_cycles < KNF.alloc_cycles
+
+    def test_less_smt_headroom(self):
+        """2-way HT gives less latency-hiding than the KNF's 4-way SMT —
+        the reason Fig 4(d) curves look so different from Fig 4(c)."""
+        assert HOST_XEON.smt_per_core < KNF.smt_per_core
+
+
+class TestWithOverride:
+    def test_immutable(self):
+        with pytest.raises(Exception):
+            KNF.n_cores = 4
+
+    def test_override_single_field(self):
+        mod = KNF.with_(dram_cycles=999.0)
+        assert mod.dram_cycles == 999.0
+        assert mod.atomic_cycles == KNF.atomic_cycles

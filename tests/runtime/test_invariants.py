@@ -1,0 +1,54 @@
+"""Cross-runtime conservation invariants (property-based)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine.config import KNF
+from repro.machine.costs import WorkCosts
+from repro.runtime.base import (Partitioner, ProgrammingModel, RuntimeSpec,
+                                Schedule, TlsMode)
+
+SPEC_STRATEGY = st.sampled_from([
+    RuntimeSpec(ProgrammingModel.OPENMP, schedule=Schedule.STATIC, chunk=7),
+    RuntimeSpec(ProgrammingModel.OPENMP, schedule=Schedule.DYNAMIC, chunk=7),
+    RuntimeSpec(ProgrammingModel.OPENMP, schedule=Schedule.GUIDED, chunk=7),
+    RuntimeSpec(ProgrammingModel.CILK, tls_mode=TlsMode.HOLDER, chunk=7),
+    RuntimeSpec(ProgrammingModel.TBB, partitioner=Partitioner.SIMPLE, chunk=7),
+    RuntimeSpec(ProgrammingModel.TBB, partitioner=Partitioner.AUTO, chunk=7),
+    RuntimeSpec(ProgrammingModel.TBB, partitioner=Partitioner.AFFINITY, chunk=7),
+])
+
+
+@given(SPEC_STRATEGY,
+       st.integers(0, 200),
+       st.integers(1, 16),
+       st.integers(0, 10**6))
+@settings(max_examples=60, deadline=None)
+def test_conservation_and_coverage(spec, n_items, n_threads, seed):
+    """For every runtime, policy, size and thread count:
+
+    * every item executes exactly once,
+    * busy cycles equal the sum of chunk durations,
+    * the span is at least the critical chunk and at most serial time
+      plus overheads.
+    """
+    rng = np.random.default_rng(seed)
+    machine = KNF.with_(name="t", n_cores=4, smt_per_core=4)
+    n_threads = min(n_threads, machine.max_threads)
+    work = WorkCosts(rng.uniform(10, 500, n_items),
+                     rng.uniform(0, 800, n_items),
+                     rng.uniform(0, 2, n_items))
+    stats = spec.parallel_for(machine, n_threads, work, seed=seed)
+
+    covered = np.zeros(n_items, dtype=int)
+    for c in stats.chunks:
+        covered[c.lo:c.hi] += 1
+    assert np.all(covered == 1)
+
+    assert stats.busy_cycles == pytest.approx(
+        sum(c.duration for c in stats.chunks))
+    if stats.chunks:
+        assert stats.span >= max(c.duration for c in stats.chunks)
+    assert stats.span >= 0

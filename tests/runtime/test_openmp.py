@@ -1,0 +1,82 @@
+"""OpenMP-specific scheduling behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.machine.costs import WorkCosts
+from repro.runtime.openmp import openmp_parallel_for
+from repro.runtime.base import Schedule
+
+
+def uniform(n, c=100.0):
+    return WorkCosts(np.full(n, c), np.zeros(n), np.zeros(n))
+
+
+def skewed(n):
+    compute = np.full(n, 50.0)
+    compute[: n // 10] = 5000.0  # a few heavy items at the front
+    return WorkCosts(compute, np.zeros(n), np.zeros(n))
+
+
+class TestStatic:
+    def test_round_robin_assignment(self, tiny_machine):
+        stats = openmp_parallel_for(tiny_machine, 4, uniform(40),
+                                    schedule=Schedule.STATIC, chunk=10)
+        owner = {c.lo // 10: c.thread for c in stats.chunks}
+        assert owner == {0: 0, 1: 1, 2: 2, 3: 3}
+
+    def test_no_atomics(self, tiny_machine):
+        stats = openmp_parallel_for(tiny_machine, 4, uniform(100),
+                                    schedule=Schedule.STATIC, chunk=5)
+        assert stats.atomic_operations == 0
+
+
+class TestDynamic:
+    def test_atomic_per_chunk(self, tiny_machine):
+        stats = openmp_parallel_for(tiny_machine, 4, uniform(100),
+                                    schedule=Schedule.DYNAMIC, chunk=10)
+        # one fetch per chunk plus one empty fetch per thread to exit
+        assert stats.atomic_operations == 10 + 4
+
+    def test_balances_skew_better_than_static(self, tiny_machine):
+        work = skewed(200)
+        dyn = openmp_parallel_for(tiny_machine, 8, work,
+                                  schedule=Schedule.DYNAMIC, chunk=5)
+        sta = openmp_parallel_for(tiny_machine, 8, work,
+                                  schedule=Schedule.STATIC, chunk=5)
+        assert dyn.span < sta.span
+
+    def test_contention_grows_with_threads(self, tiny_machine):
+        w = uniform(400, c=10.0)  # tiny chunks -> counter-bound
+        s2 = openmp_parallel_for(tiny_machine, 2, w,
+                                 schedule=Schedule.DYNAMIC, chunk=2)
+        s8 = openmp_parallel_for(tiny_machine, 8, w,
+                                 schedule=Schedule.DYNAMIC, chunk=2)
+        assert s8.atomic_wait_cycles > s2.atomic_wait_cycles
+
+
+class TestGuided:
+    def test_decreasing_chunks(self, tiny_machine):
+        stats = openmp_parallel_for(tiny_machine, 4, uniform(1000),
+                                    schedule=Schedule.GUIDED, chunk=10)
+        sizes = [c.size for c in sorted(stats.chunks, key=lambda c: c.lo)]
+        assert sizes[0] > sizes[-1]
+        assert sizes[0] == 1000 // 8  # remaining / (2t)
+        # every chunk except the trailing remainder honours the minimum
+        assert all(s >= 10 for s in sizes[:-1])
+
+    def test_fewer_chunks_than_dynamic(self, tiny_machine):
+        g = openmp_parallel_for(tiny_machine, 4, uniform(1000),
+                                schedule=Schedule.GUIDED, chunk=10)
+        d = openmp_parallel_for(tiny_machine, 4, uniform(1000),
+                                schedule=Schedule.DYNAMIC, chunk=10)
+        assert g.n_chunks < d.n_chunks
+
+
+class TestTls:
+    def test_tls_init_charged(self, tiny_machine):
+        base = openmp_parallel_for(tiny_machine, 2, uniform(20), chunk=5)
+        tls = openmp_parallel_for(tiny_machine, 2, uniform(20), chunk=5,
+                                  tls_entries=1000)
+        assert tls.span > base.span
+        assert tls.tls_inits == 2

@@ -1,0 +1,111 @@
+"""Tests shared across the three simulated runtimes."""
+
+import numpy as np
+import pytest
+
+from repro.machine.costs import WorkCosts
+from repro.runtime.base import (Partitioner, ProgrammingModel, RuntimeSpec,
+                                Schedule, TlsMode)
+
+ALL_SPECS = [
+    RuntimeSpec(ProgrammingModel.OPENMP, schedule=Schedule.STATIC, chunk=8),
+    RuntimeSpec(ProgrammingModel.OPENMP, schedule=Schedule.DYNAMIC, chunk=8),
+    RuntimeSpec(ProgrammingModel.OPENMP, schedule=Schedule.GUIDED, chunk=8),
+    RuntimeSpec(ProgrammingModel.CILK, tls_mode=TlsMode.HOLDER, chunk=8),
+    RuntimeSpec(ProgrammingModel.CILK, tls_mode=TlsMode.WORKER_ID, chunk=8),
+    RuntimeSpec(ProgrammingModel.TBB, partitioner=Partitioner.SIMPLE, chunk=8),
+    RuntimeSpec(ProgrammingModel.TBB, partitioner=Partitioner.AUTO, chunk=8),
+    RuntimeSpec(ProgrammingModel.TBB, partitioner=Partitioner.AFFINITY, chunk=8),
+]
+
+
+def uniform_work(n, compute=200.0, stall=100.0, volume=0.5):
+    return WorkCosts(np.full(n, compute), np.full(n, stall), np.full(n, volume))
+
+
+@pytest.mark.parametrize("spec", ALL_SPECS, ids=lambda s: s.label)
+class TestAllRuntimes:
+    def test_full_coverage(self, spec, tiny_machine):
+        """Every item is executed exactly once."""
+        stats = spec.parallel_for(tiny_machine, 4, uniform_work(100), seed=1)
+        covered = np.zeros(100, dtype=int)
+        for c in stats.chunks:
+            covered[c.lo:c.hi] += 1
+        assert np.all(covered == 1)
+
+    def test_chunk_size_bound(self, spec, tiny_machine):
+        """No executed chunk exceeds the grain (guided may exceed it)."""
+        stats = spec.parallel_for(tiny_machine, 4, uniform_work(100), seed=1)
+        limit = 100 if spec.schedule is Schedule.GUIDED else \
+            max(8, -(-100 // (4 * 4)))
+        assert max(c.size for c in stats.chunks) <= limit
+
+    def test_single_thread_span_at_least_serial_work(self, spec, tiny_machine):
+        work = uniform_work(64)
+        stats = spec.parallel_for(tiny_machine, 1, work, seed=1)
+        serial = work.total[0] + work.total[1]
+        assert stats.span >= serial
+
+    def test_speedup_with_threads(self, spec, tiny_machine):
+        work = uniform_work(400)
+        t1 = spec.parallel_for(tiny_machine, 1, work, seed=1).span
+        t4 = spec.parallel_for(tiny_machine, 4, work, seed=1).span
+        assert t1 / t4 > 2.0
+
+    def test_deterministic(self, spec, tiny_machine):
+        work = uniform_work(128)
+        a = spec.parallel_for(tiny_machine, 4, work, seed=5)
+        b = spec.parallel_for(tiny_machine, 4, work, seed=5)
+        assert a.span == b.span
+        assert [(c.lo, c.hi, c.thread) for c in a.chunks] == \
+            [(c.lo, c.hi, c.thread) for c in b.chunks]
+
+    def test_chunk_intervals_well_formed(self, spec, tiny_machine):
+        stats = spec.parallel_for(tiny_machine, 3, uniform_work(60), seed=2)
+        for c in stats.chunks:
+            assert c.end > c.start >= 0
+            assert 0 <= c.thread < 3
+        assert stats.span >= max(c.end for c in stats.chunks)
+
+    def test_per_thread_chunks_disjoint_in_time(self, spec, tiny_machine):
+        """One thread never executes two chunks simultaneously."""
+        stats = spec.parallel_for(tiny_machine, 4, uniform_work(100), seed=3)
+        by_thread = {}
+        for c in stats.chunks:
+            by_thread.setdefault(c.thread, []).append((c.start, c.end))
+        for spans in by_thread.values():
+            spans.sort()
+            for (s1, e1), (s2, _) in zip(spans, spans[1:]):
+                assert s2 >= e1 - 1e-9
+
+    def test_fork_charged_once(self, spec, tiny_machine):
+        work = uniform_work(40)
+        with_fork = spec.parallel_for(tiny_machine, 2, work, fork=True, seed=1)
+        without = spec.parallel_for(tiny_machine, 2, work, fork=False, seed=1)
+        assert with_fork.span == pytest.approx(
+            without.span + tiny_machine.fork_cycles)
+
+    def test_empty_work(self, spec, tiny_machine):
+        stats = spec.parallel_for(tiny_machine, 4, uniform_work(0), seed=1)
+        assert stats.n_chunks == 0
+
+    def test_invalid_chunk_rejected(self, spec, tiny_machine):
+        bad = RuntimeSpec(spec.model, schedule=spec.schedule,
+                          partitioner=spec.partitioner,
+                          tls_mode=spec.tls_mode, chunk=0)
+        with pytest.raises(ValueError):
+            bad.parallel_for(tiny_machine, 2, uniform_work(10))
+
+
+class TestSpecProperties:
+    def test_labels(self):
+        labels = {s.label for s in ALL_SPECS}
+        assert labels == {"OpenMP-static", "OpenMP-dynamic", "OpenMP-guided",
+                          "CilkPlus-holder", "CilkPlus", "TBB-simple",
+                          "TBB-auto", "TBB-affinity"}
+
+    def test_openmp_cheapest_tls_access(self):
+        omp, cilk, tbb = ALL_SPECS[0], ALL_SPECS[3], ALL_SPECS[5]
+        assert omp.tls_access_cycles < tbb.tls_access_cycles
+        assert omp.body_overhead == (0.0, 0.0)
+        assert cilk.body_overhead[1] > tbb.body_overhead[1]

@@ -1,0 +1,81 @@
+"""Work-stealing engine behaviour (Cilk and TBB share it)."""
+
+import numpy as np
+import pytest
+
+from repro.machine.costs import WorkCosts
+from repro.runtime.base import Partitioner, TlsMode
+from repro.runtime.cilk import cilk_parallel_for
+from repro.runtime.tbb import tbb_parallel_for
+
+
+def uniform(n, c=200.0):
+    return WorkCosts(np.full(n, c), np.zeros(n), np.zeros(n))
+
+
+class TestCilk:
+    def test_steals_occur(self, tiny_machine):
+        stats = cilk_parallel_for(tiny_machine, 8, uniform(400), grain=10)
+        assert stats.steals > 0
+
+    def test_tasks_spawned(self, tiny_machine):
+        stats = cilk_parallel_for(tiny_machine, 4, uniform(256), grain=16)
+        # lazy binary splitting produces ~(leaves - 1) splits
+        assert stats.tasks_spawned >= 255 // 16
+
+    def test_no_steals_single_thread(self, tiny_machine):
+        stats = cilk_parallel_for(tiny_machine, 1, uniform(100), grain=10)
+        assert stats.steals == 0
+
+    def test_holder_lazy_init_only_on_working_threads(self, tiny_machine):
+        # grain so large only one leaf exists: only one worker ever inits
+        stats = cilk_parallel_for(tiny_machine, 8, uniform(50), grain=64,
+                                  tls_mode=TlsMode.HOLDER, tls_entries=100)
+        assert stats.tls_inits == 1
+
+    def test_worker_id_eager_init_all_threads(self, tiny_machine):
+        stats = cilk_parallel_for(tiny_machine, 8, uniform(50), grain=64,
+                                  tls_mode=TlsMode.WORKER_ID, tls_entries=100)
+        assert stats.tls_inits == 8
+
+    def test_distribution_latency_visible(self, tiny_machine):
+        """Work spreads through a steal chain: a machine with expensive
+        steals takes longer on many-thread short loops."""
+        slow_steals = tiny_machine.with_(steal_cycles=50_000.0)
+        fast = cilk_parallel_for(tiny_machine, 8, uniform(64), grain=8)
+        slow = cilk_parallel_for(slow_steals, 8, uniform(64), grain=8)
+        assert slow.span > fast.span
+
+    def test_invalid_grain(self, tiny_machine):
+        with pytest.raises(ValueError):
+            cilk_parallel_for(tiny_machine, 2, uniform(10), grain=0)
+
+
+class TestTbbPartitioners:
+    def test_simple_finest_granularity(self, tiny_machine):
+        simple = tbb_parallel_for(tiny_machine, 4, uniform(512),
+                                  partitioner=Partitioner.SIMPLE, chunk=8)
+        auto = tbb_parallel_for(tiny_machine, 4, uniform(512),
+                                partitioner=Partitioner.AUTO, chunk=8)
+        assert simple.n_chunks > auto.n_chunks
+
+    def test_auto_threshold_scales_with_threads(self, tiny_machine):
+        a2 = tbb_parallel_for(tiny_machine, 2, uniform(512),
+                              partitioner=Partitioner.AUTO, chunk=4)
+        a8 = tbb_parallel_for(tiny_machine, 8, uniform(512),
+                              partitioner=Partitioner.AUTO, chunk=4)
+        assert a8.n_chunks > a2.n_chunks
+
+    def test_affinity_pre_deals_ranges(self, tiny_machine):
+        stats = tbb_parallel_for(tiny_machine, 4, uniform(512),
+                                 partitioner=Partitioner.AFFINITY, chunk=8)
+        # with a pre-dealt balanced load, most work runs without stealing
+        threads_used = {c.thread for c in stats.chunks}
+        assert len(threads_used) == 4
+
+    def test_affinity_pays_mailbox_overhead(self, tiny_machine):
+        auto = tbb_parallel_for(tiny_machine, 1, uniform(256),
+                                partitioner=Partitioner.AUTO, chunk=8)
+        aff = tbb_parallel_for(tiny_machine, 1, uniform(256),
+                               partitioner=Partitioner.AFFINITY, chunk=8)
+        assert aff.sched_cycles > auto.sched_cycles

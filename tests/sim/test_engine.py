@@ -1,0 +1,191 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import Barrier, Condition, Engine
+
+
+class TestEngine:
+    def test_empty_run(self):
+        assert Engine().run() == 0.0
+
+    def test_schedule_order(self):
+        eng = Engine()
+        log = []
+        eng.schedule(5.0, lambda: log.append(("a", eng.now)))
+        eng.schedule(2.0, lambda: log.append(("b", eng.now)))
+        eng.run()
+        assert log == [("b", 2.0), ("a", 5.0)]
+
+    def test_ties_broken_by_insertion_order(self):
+        eng = Engine()
+        log = []
+        for name in "abc":
+            eng.schedule(1.0, log.append, name)
+        eng.run()
+        assert log == ["a", "b", "c"]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            Engine().schedule(-1.0, lambda: None)
+
+    def test_run_until(self):
+        eng = Engine()
+        log = []
+        eng.schedule(1.0, log.append, 1)
+        eng.schedule(10.0, log.append, 10)
+        eng.run(until=5.0)
+        assert log == [1]
+        eng.run()
+        assert log == [1, 10]
+
+    def test_time_monotone(self):
+        eng = Engine()
+        times = []
+
+        def proc():
+            for d in [3.0, 0.0, 7.5, 1.0]:
+                yield d
+                times.append(eng.now)
+
+        eng.spawn(proc())
+        eng.run()
+        assert times == [3.0, 3.0, 10.5, 11.5]
+        assert times == sorted(times)
+
+    def test_process_completion(self):
+        eng = Engine()
+
+        def empty():
+            return
+            yield  # pragma: no cover - makes this a generator
+
+        p = eng.spawn(empty())
+        eng.run()
+        assert p.finished
+
+    def test_unsupported_yield_rejected(self):
+        eng = Engine()
+
+        def proc():
+            yield "what"
+
+        eng.spawn(proc())
+        with pytest.raises(TypeError, match="unsupported"):
+            eng.run()
+
+    def test_deterministic_interleaving(self):
+        def run_once():
+            eng = Engine()
+            log = []
+
+            def proc(name, step):
+                for i in range(5):
+                    yield step
+                    log.append((name, eng.now))
+
+            eng.spawn(proc("x", 2.0))
+            eng.spawn(proc("y", 3.0))
+            eng.run()
+            return log
+
+        assert run_once() == run_once()
+
+
+class TestBarrier:
+    def test_releases_when_full(self):
+        eng = Engine()
+        done = []
+        barrier = Barrier(eng, 3)
+
+        def proc(delay):
+            yield delay
+            yield barrier
+            done.append(eng.now)
+
+        for d in (1.0, 5.0, 2.0):
+            eng.spawn(proc(d))
+        eng.run()
+        assert done == [5.0, 5.0, 5.0]
+        assert barrier.trips == 1
+
+    def test_release_cost(self):
+        eng = Engine()
+        done = []
+        barrier = Barrier(eng, 2, cost_fn=lambda n: 10.0 * n)
+
+        def proc():
+            yield barrier
+            done.append(eng.now)
+
+        eng.spawn(proc())
+        eng.spawn(proc())
+        eng.run()
+        assert done == [20.0, 20.0]
+
+    def test_reusable(self):
+        eng = Engine()
+        count = []
+        barrier = Barrier(eng, 2)
+
+        def proc():
+            yield barrier
+            yield 1.0
+            yield barrier
+            count.append(eng.now)
+
+        eng.spawn(proc())
+        eng.spawn(proc())
+        eng.run()
+        assert barrier.trips == 2
+        assert count == [1.0, 1.0]
+
+    def test_invalid_parties(self):
+        with pytest.raises(ValueError):
+            Barrier(Engine(), 0)
+
+    def test_deadlock_detected(self):
+        eng = Engine()
+        barrier = Barrier(eng, 2)
+
+        def proc():
+            yield barrier
+
+        eng.spawn(proc())  # second party never arrives
+        with pytest.raises(RuntimeError, match="deadlock"):
+            eng.run()
+
+
+class TestCondition:
+    def test_wakes_waiters(self):
+        eng = Engine()
+        log = []
+        cond = Condition(eng)
+
+        def waiter():
+            yield cond
+            log.append(eng.now)
+
+        def firer():
+            yield 7.0
+            cond.fire()
+
+        eng.spawn(waiter())
+        eng.spawn(firer())
+        eng.run()
+        assert log == [7.0]
+
+    def test_fired_condition_passes_through(self):
+        eng = Engine()
+        log = []
+        cond = Condition(eng)
+        cond.fire()
+
+        def waiter():
+            yield 2.0
+            yield cond
+            log.append(eng.now)
+
+        eng.spawn(waiter())
+        eng.run()
+        assert log == [2.0]

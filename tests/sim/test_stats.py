@@ -1,0 +1,27 @@
+"""LoopStats / ChunkExec accounting."""
+
+import pytest
+
+from repro.sim.stats import ChunkExec, LoopStats
+
+
+class TestChunkExec:
+    def test_derived_fields(self):
+        c = ChunkExec(lo=10, hi=25, thread=3, start=100.0, end=160.0)
+        assert c.size == 15
+        assert c.duration == 60.0
+
+
+class TestLoopStats:
+    def test_utilization(self):
+        s = LoopStats(span=100.0, busy_cycles=300.0)
+        assert s.utilization(4) == pytest.approx(0.75)
+
+    def test_utilization_degenerate(self):
+        assert LoopStats().utilization(4) == 0.0
+        assert LoopStats(span=10.0).utilization(0) == 0.0
+
+    def test_n_chunks(self):
+        s = LoopStats()
+        s.chunks.append(ChunkExec(0, 5, 0, 0.0, 1.0))
+        assert s.n_chunks == 1

@@ -1,0 +1,52 @@
+"""Trace/Gantt diagnostics."""
+
+import numpy as np
+
+from repro.machine.costs import WorkCosts
+from repro.runtime.base import ProgrammingModel, RuntimeSpec, Schedule
+from repro.sim.stats import ChunkExec, LoopStats
+from repro.sim.trace import breakdown, gantt, thread_utilization
+
+
+def real_stats(tiny_machine, n=60, threads=3):
+    work = WorkCosts(np.full(n, 100.0), np.zeros(n), np.zeros(n))
+    spec = RuntimeSpec(ProgrammingModel.OPENMP, schedule=Schedule.STATIC,
+                       chunk=10)
+    return spec.parallel_for(tiny_machine, threads, work)
+
+
+class TestGantt:
+    def test_empty(self):
+        assert "no chunks" in gantt(LoopStats())
+
+    def test_rows_per_thread(self, tiny_machine):
+        stats = real_stats(tiny_machine)
+        out = gantt(stats)
+        assert out.count("|") == 2 * 3  # three thread rows
+        assert "#" in out
+
+    def test_elides_many_threads(self):
+        stats = LoopStats(span=10.0)
+        for t in range(40):
+            stats.chunks.append(ChunkExec(t, t + 1, t, 0.0, 5.0))
+        out = gantt(stats, max_threads=8)
+        assert "more threads elided" in out
+
+
+class TestUtilization:
+    def test_busy_fractions(self):
+        stats = LoopStats(span=100.0)
+        stats.chunks.append(ChunkExec(0, 1, 0, 0.0, 50.0))
+        stats.chunks.append(ChunkExec(1, 2, 1, 0.0, 100.0))
+        util = thread_utilization(stats)
+        assert util == {0: 0.5, 1: 1.0}
+
+    def test_zero_span(self):
+        assert thread_utilization(LoopStats()) == {}
+
+
+class TestBreakdown:
+    def test_contains_accounting(self, tiny_machine):
+        stats = real_stats(tiny_machine)
+        out = breakdown(stats, 3)
+        assert "span" in out and "busy" in out and "atomics" in out
