@@ -34,6 +34,15 @@ from repro.experiments.fig4_bfs import (
     run_fig4,
     run_fig4_panel,
 )
+from repro.experiments.fig_faults import (
+    FAULT_RUNTIMES,
+    FAULT_THREADS,
+    INTENSITIES,
+    faulted_bfs_cycles,
+    faulted_coloring_cycles,
+    kill_survival_rows,
+    run_fig_faults,
+)
 from repro.experiments.chunk_sweep import run_chunk_sweep, CHUNK_SIZES
 from repro.experiments.rmat_bfs import run_rmat_bfs, rmat_direction_savings
 from repro.experiments.save import save_panels, load_panels, panel_to_dict, panel_from_dict
@@ -55,6 +64,8 @@ __all__ = [
     "run_fig2", "PAPER_FIG2_AT_121",
     "IRREGULAR_MODELS", "ITERATION_COUNTS", "irregular_cycles", "run_fig3",
     "BLOCK_SIZE", "bfs_cycles", "model_series", "run_fig4", "run_fig4_panel",
+    "FAULT_RUNTIMES", "FAULT_THREADS", "INTENSITIES", "faulted_bfs_cycles",
+    "faulted_coloring_cycles", "kill_survival_rows", "run_fig_faults",
     "run_block_size_ablation", "run_relaxed_ablation", "run_smt_ablation",
     "run_cache_ablation", "run_bandwidth_ablation", "run_all_ablations",
 ]

@@ -16,13 +16,11 @@ Each ablation isolates one design choice the paper discusses:
 
 from __future__ import annotations
 
-from functools import partial
 
 from repro.experiments.fig1_coloring import COLORING_VARIANTS, coloring_cycles
 from repro.experiments.fig4_bfs import bfs_cycles, run_fig4_panel
 from repro.experiments.harness import PanelResult, run_panel, scale_of
 from repro.graph.suite import suite_graph
-from repro.kernels.bfs.layered import simulate_bfs
 from repro.kernels.coloring.parallel import parallel_coloring
 from repro.machine.config import KNF
 

@@ -16,8 +16,8 @@ import time
 
 __all__ = ["main"]
 
-_CHOICES = ["table1", "fig1", "fig2", "fig3", "fig4", "ablations",
-            "chunk-sweep", "all"]
+_CHOICES = ["table1", "fig1", "fig2", "fig3", "fig4", "fig-faults",
+            "ablations", "chunk-sweep", "all"]
 
 
 def main(argv=None) -> int:
@@ -33,6 +33,13 @@ def main(argv=None) -> int:
                         help="comma-separated suite graph names")
     parser.add_argument("--threads", default=None,
                         help="comma-separated thread counts")
+    parser.add_argument("--retries", type=int, default=None,
+                        help="per-cell retry budget (sets REPRO_RETRIES)")
+    parser.add_argument("--checkpoint", default=None,
+                        help="sweep checkpoint path (sets REPRO_CHECKPOINT; "
+                             "re-run with the same path to resume)")
+    parser.add_argument("--fault-seed", type=int, default=None,
+                        help="fault scenario seed (sets REPRO_FAULT_SEED)")
     args = parser.parse_args(argv)
 
     if args.fast:
@@ -41,6 +48,12 @@ def main(argv=None) -> int:
         os.environ["REPRO_GRAPHS"] = args.graphs
     if args.threads:
         os.environ["REPRO_THREADS"] = args.threads
+    if args.retries is not None:
+        os.environ["REPRO_RETRIES"] = str(args.retries)
+    if args.checkpoint:
+        os.environ["REPRO_CHECKPOINT"] = args.checkpoint
+    if args.fault_seed is not None:
+        os.environ["REPRO_FAULT_SEED"] = str(args.fault_seed)
 
     from repro.experiments.report import print_panel
     from repro.experiments.table1 import run_table1
@@ -65,6 +78,14 @@ def main(argv=None) -> int:
         from repro.experiments.fig4_bfs import run_fig4
         for panel in run_fig4().values():
             print_panel(panel)
+    if what in ("fig-faults", "all"):
+        from repro.experiments.fig_faults import (format_kill_survival,
+                                                  run_fig_faults)
+        for panel in run_fig_faults().values():
+            print_panel(panel)
+        print("Kill survival (one thread killed mid-colouring):")
+        print(format_kill_survival())
+        print()
     if what == "chunk-sweep":
         from repro.experiments.chunk_sweep import run_chunk_sweep
         print_panel(run_chunk_sweep())

@@ -12,11 +12,20 @@ Follows the paper's §V-A methodology:
 Environment knobs (picked up by the benchmark suite so a laptop run can
 be shortened): ``REPRO_GRAPHS`` — comma-separated subset of suite names;
 ``REPRO_THREADS`` — comma-separated thread counts; ``REPRO_FAST=1`` —
-three graphs, five thread counts.
+three graphs, five thread counts; ``REPRO_RETRIES`` — per-cell retry
+count for :func:`run_panel` (default 1); ``REPRO_CHECKPOINT`` — default
+checkpoint path for sweep resume.
+
+Resilience: :func:`run_panel` retries failing cells a bounded number of
+times, records survivors as NaN instead of discarding the sweep
+(``PanelResult.failures`` holds the error per cell), and can checkpoint
+every computed cell to disk so a crashed 121-thread × 10-graph panel
+resumes where it stopped.
 """
 
 from __future__ import annotations
 
+import math
 import os
 from dataclasses import dataclass, field
 from functools import lru_cache
@@ -55,10 +64,33 @@ def panel_graphs() -> list[str]:
 
 
 def panel_threads(host: bool = False) -> list[int]:
-    """Thread sweep to use (honours REPRO_THREADS / REPRO_FAST)."""
+    """Thread sweep to use (honours REPRO_THREADS / REPRO_FAST).
+
+    ``REPRO_THREADS`` entries must be positive integers — rejected with a
+    clear :class:`ValueError` otherwise (``0`` or negatives would later
+    divide-by-zero in the speedup math; ``int()`` tracebacks are opaque).
+    """
     env = os.environ.get("REPRO_THREADS")
     if env:
-        return sorted({int(x) for x in env.split(",") if x.strip()})
+        counts = set()
+        for token in env.split(","):
+            token = token.strip()
+            if not token:
+                continue
+            try:
+                t = int(token)
+            except ValueError:
+                raise ValueError(
+                    f"REPRO_THREADS entry {token!r} is not an integer "
+                    f"(got REPRO_THREADS={env!r})") from None
+            if t < 1:
+                raise ValueError(
+                    f"REPRO_THREADS entry {t} must be >= 1 "
+                    f"(got REPRO_THREADS={env!r})")
+            counts.add(t)
+        if not counts:
+            raise ValueError(f"REPRO_THREADS={env!r} names no thread counts")
+        return sorted(counts)
     if os.environ.get("REPRO_FAST"):
         return list(_FAST_THREADS_HOST if host else _FAST_THREADS_MIC)
     return list(THREADS_HOST if host else THREADS_MIC)
@@ -71,22 +103,38 @@ def ordered_suite_graph(name: str, ordering: str, seed: int = 5):
 
 
 def geomean(values) -> float:
-    """Geometric mean (0 if any value is non-positive)."""
+    """Geometric mean (0 if any value is non-positive).
+
+    NaN entries (failed panel cells) are skipped so a partial sweep still
+    aggregates its surviving graphs; an all-NaN input returns NaN to keep
+    the gap visible.
+    """
     v = np.asarray(values, dtype=np.float64)
-    if len(v) == 0 or np.any(v <= 0):
+    if len(v) == 0:
         return 0.0
-    return float(np.exp(np.log(v).mean()))
+    finite = v[np.isfinite(v)]
+    if len(finite) == 0:
+        return float("nan")
+    if np.any(finite <= 0):
+        return 0.0
+    return float(np.exp(np.log(finite).mean()))
 
 
 @dataclass
 class PanelResult:
-    """One figure panel: speedup series per variant over a thread sweep."""
+    """One figure panel: speedup series per variant over a thread sweep.
+
+    ``failures`` maps a failed cell ``(graph, variant, threads)`` to the
+    error string that survived the retry budget; the corresponding
+    speedups are NaN (partial-result semantics).
+    """
 
     title: str
     thread_counts: list[int]
     series: dict = field(default_factory=dict)        # label -> np.ndarray
     per_graph: dict = field(default_factory=dict)     # (label, graph) -> array
     baselines: dict = field(default_factory=dict)     # graph -> cycles at t=1
+    failures: dict = field(default_factory=dict)      # (g, v, t) -> error str
     notes: str = ""
 
     def best(self, label: str) -> tuple[int, float]:
@@ -108,36 +156,79 @@ def run_panel(
     threads: list[int] | None = None,
     baseline_variants: list[str] | None = None,
     per_variant_baseline: bool = False,
+    baseline_point: int = 1,
+    retries: int | None = None,
+    on_error: str = "nan",
+    checkpoint: str | os.PathLike | None = None,
 ) -> PanelResult:
     """Sweep ``runner(graph, variant, threads) -> cycles`` over a panel.
 
-    The per-graph baseline is the fastest 1-thread cycles over
-    ``baseline_variants`` (default: all *variants*), per the paper's
+    The per-graph baseline is the fastest ``baseline_point``-thread cycles
+    over ``baseline_variants`` (default: all *variants*), per the paper's
     methodology; the panel series are geometric means over graphs.  With
     ``per_variant_baseline`` each variant is normalised by its own
-    1-thread run instead (Figure 3 compares iteration counts this way:
-    "the speedup are computed relatively to the same number of
-    iterations").
+    ``baseline_point`` run instead (Figure 3 compares iteration counts
+    this way: "the speedup are computed relatively to the same number of
+    iterations").  ``baseline_point`` defaults to 1 (the 1-thread run);
+    the fault experiments sweep fault intensity on this axis and baseline
+    at intensity 0.
+
+    Resilience (partial-result semantics):
+
+    * a cell whose runner raises is retried up to ``retries`` times
+      (default: ``REPRO_RETRIES`` env var, else 1) and then — with
+      ``on_error="nan"``, the default — recorded as NaN with the error
+      kept in ``PanelResult.failures``, leaving every other cell intact;
+      ``on_error="raise"`` restores fail-fast behaviour;
+    * with ``checkpoint`` (default: ``REPRO_CHECKPOINT`` env var) every
+      computed cell is persisted through
+      :func:`repro.experiments.save.save_checkpoint`; re-running the same
+      panel with the same checkpoint path skips finished cells, so a
+      crashed sweep resumes instead of restarting (failed cells are
+      retried on resume).
     """
+    from repro.experiments.save import load_checkpoint, save_checkpoint
+
     graphs = graphs if graphs is not None else panel_graphs()
     threads = threads if threads is not None else panel_threads()
     baseline_variants = baseline_variants or variants
-    if 1 not in threads:
-        threads = [1] + list(threads)
+    if baseline_point not in threads:
+        threads = [baseline_point] + list(threads)
+    if retries is None:
+        retries = int(os.environ.get("REPRO_RETRIES", "1"))
+    if retries < 0:
+        raise ValueError(f"retries must be >= 0, got {retries}")
+    if on_error not in ("nan", "raise"):
+        raise ValueError(f"on_error must be 'nan' or 'raise', got {on_error!r}")
+    if checkpoint is None:
+        checkpoint = os.environ.get("REPRO_CHECKPOINT") or None
 
     cycles: dict[tuple[str, str, int], float] = {}
+    if checkpoint is not None:
+        cycles.update(load_checkpoint(checkpoint, title))
+    failures: dict[tuple[str, str, int], str] = {}
+
     for g in graphs:
         for v in variants:
             for t in threads:
-                cycles[(g, v, t)] = runner(g, v, t)
+                key = (g, v, t)
+                if key in cycles and math.isfinite(cycles[key]):
+                    continue  # resumed from checkpoint
+                cycles[key] = _run_cell(runner, key, retries, on_error,
+                                        failures)
+                if checkpoint is not None:
+                    save_checkpoint(checkpoint, title, cycles)
 
-    result = PanelResult(title=title, thread_counts=list(threads))
+    result = PanelResult(title=title, thread_counts=list(threads),
+                         failures=dict(failures))
     for g in graphs:
-        result.baselines[g] = min(cycles[(g, v, 1)] for v in baseline_variants)
+        bases = [cycles[(g, v, baseline_point)] for v in baseline_variants]
+        bases = [b for b in bases if math.isfinite(b)]
+        result.baselines[g] = min(bases) if bases else float("nan")
     for v in variants:
         per_graph_speedups = []
         for g in graphs:
-            base = cycles[(g, v, 1)] if per_variant_baseline \
+            base = cycles[(g, v, baseline_point)] if per_variant_baseline \
                 else result.baselines[g]
             s = np.asarray([base / cycles[(g, v, t)] for t in threads])
             result.per_graph[(v, g)] = s
@@ -145,7 +236,29 @@ def run_panel(
         stacked = np.stack(per_graph_speedups)
         result.series[v] = np.asarray(
             [geomean(stacked[:, i]) for i in range(len(threads))])
+    if failures:
+        shown = [f"{k[0]}/{k[1]}@{k[2]}: {e}"
+                 for k, e in list(failures.items())[:3]]
+        more = "" if len(failures) <= 3 else f" (+{len(failures) - 3} more)"
+        result.notes = (f"{len(failures)} cell(s) failed after {retries} "
+                        f"retr{'y' if retries == 1 else 'ies'} — "
+                        + "; ".join(shown) + more)
     return result
+
+
+def _run_cell(runner, key, retries: int, on_error: str, failures: dict) -> float:
+    """One panel cell with bounded retry; NaN (recorded) after the budget."""
+    g, v, t = key
+    error = None
+    for _ in range(1 + retries):
+        try:
+            return runner(g, v, t)
+        except Exception as exc:  # noqa: BLE001 — cell isolation is the point
+            error = exc
+    if on_error == "raise":
+        raise error
+    failures[key] = f"{type(error).__name__}: {error}"
+    return float("nan")
 
 
 def repeat_average(fn: Callable[[int], float], runs: int = 10,

@@ -16,7 +16,6 @@ from functools import lru_cache
 
 import numpy as np
 
-from repro.experiments.fig4_bfs import model_series
 from repro.experiments.harness import PanelResult, geomean, panel_threads
 from repro.graph.generators import rmat
 from repro.kernels.bfs.direction_optimizing import bfs_direction_optimizing

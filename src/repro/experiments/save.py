@@ -3,18 +3,30 @@
 Panels round-trip losslessly, so a full regeneration can be archived next
 to the paper comparison (EXPERIMENTS.md points at ``results_full.txt``;
 ``save_panels`` produces the machine-readable companion).
+
+Sweep checkpoints: :func:`save_checkpoint` / :func:`load_checkpoint`
+persist the raw per-cell cycle measurements of an in-flight
+:func:`~repro.experiments.harness.run_panel` sweep (keyed by panel title,
+one file can hold several panels) so a crashed 121-thread × 10-graph
+panel resumes instead of restarting.  Writes are atomic (tmp +
+``os.replace``) — a crash mid-write never corrupts the checkpoint.
 """
 
 from __future__ import annotations
 
 import json
+import math
 import os
 
 import numpy as np
 
 from repro.experiments.harness import PanelResult
 
-__all__ = ["panel_to_dict", "panel_from_dict", "save_panels", "load_panels"]
+__all__ = ["panel_to_dict", "panel_from_dict", "save_panels", "load_panels",
+           "save_checkpoint", "load_checkpoint"]
+
+#: Separator for compound JSON keys (graph/variant/threads tuples).
+_SEP = "\x1f"
 
 
 def panel_to_dict(panel: PanelResult) -> dict:
@@ -23,9 +35,11 @@ def panel_to_dict(panel: PanelResult) -> dict:
         "title": panel.title,
         "thread_counts": list(panel.thread_counts),
         "series": {k: [float(x) for x in v] for k, v in panel.series.items()},
-        "per_graph": {f"{v}\x1f{g}": [float(x) for x in arr]
+        "per_graph": {f"{v}{_SEP}{g}": [float(x) for x in arr]
                       for (v, g), arr in panel.per_graph.items()},
         "baselines": {g: float(b) for g, b in panel.baselines.items()},
+        "failures": {f"{g}{_SEP}{v}{_SEP}{t}": err
+                     for (g, v, t), err in panel.failures.items()},
         "notes": panel.notes,
     }
 
@@ -37,9 +51,12 @@ def panel_from_dict(data: dict) -> PanelResult:
                         notes=data.get("notes", ""))
     panel.series = {k: np.asarray(v) for k, v in data["series"].items()}
     for key, arr in data.get("per_graph", {}).items():
-        v, g = key.split("\x1f", 1)
+        v, g = key.split(_SEP, 1)
         panel.per_graph[(v, g)] = np.asarray(arr)
     panel.baselines = dict(data.get("baselines", {}))
+    for key, err in data.get("failures", {}).items():
+        g, v, t = key.split(_SEP, 2)
+        panel.failures[(g, v, int(t))] = err
     return panel
 
 
@@ -61,3 +78,52 @@ def load_panels(path: str | os.PathLike) -> dict[str, PanelResult]:
     if "panels" not in payload:
         raise ValueError(f"{path}: not a saved-panels file")
     return {k: panel_from_dict(d) for k, d in payload["panels"].items()}
+
+
+def _atomic_dump(payload: dict, path: str) -> None:
+    """Write JSON atomically so a crash never corrupts the file."""
+    tmp = f"{path}.tmp"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=1)
+    os.replace(tmp, path)
+
+
+def save_checkpoint(path: str | os.PathLike, title: str,
+                    cells: dict[tuple[str, str, int], float]) -> None:
+    """Persist one panel's raw cell measurements (see module docstring).
+
+    ``cells`` maps ``(graph, variant, threads)`` to simulated cycles; NaN
+    cells (failed after retries) are stored as ``null`` so the file stays
+    strict JSON.  Other panels already in the file are preserved.
+    """
+    path = os.fspath(path)
+    try:
+        payload = _load_checkpoint_payload(path)
+    except (OSError, ValueError):
+        payload = {"checkpoints": {}}
+    payload["checkpoints"][title] = {
+        f"{g}{_SEP}{v}{_SEP}{t}": (None if math.isnan(c) else float(c))
+        for (g, v, t), c in cells.items()}
+    _atomic_dump(payload, path)
+
+
+def load_checkpoint(path: str | os.PathLike,
+                    title: str) -> dict[tuple[str, str, int], float]:
+    """Cells previously checkpointed for *title* ({} if none/missing)."""
+    try:
+        payload = _load_checkpoint_payload(os.fspath(path))
+    except OSError:
+        return {}
+    out = {}
+    for key, c in payload["checkpoints"].get(title, {}).items():
+        g, v, t = key.split(_SEP, 2)
+        out[(g, v, int(t))] = float("nan") if c is None else float(c)
+    return out
+
+
+def _load_checkpoint_payload(path: str) -> dict:
+    with open(path, "r", encoding="utf-8") as fh:
+        payload = json.load(fh)
+    if "checkpoints" not in payload or not isinstance(payload["checkpoints"], dict):
+        raise ValueError(f"{path}: not a checkpoint file")
+    return payload

@@ -110,11 +110,15 @@ def simulate_bfs(
     config: MachineConfig = KNF,
     cache_scale: float = 1.0,
     seed: int = 0,
+    faults=None,
 ) -> BFSRun:
     """Simulate a layered parallel BFS of *graph* from *source*.
 
     Returns a :class:`BFSRun`; ``run.dist`` is the exact BFS labelling and
-    ``run.total_cycles`` the simulated execution time.
+    ``run.total_cycles`` the simulated execution time.  ``faults`` (a
+    :class:`~repro.sim.faults.FaultInjector`) degrades the simulated chip;
+    kill faults can lose discoveries, so validate a faulted labelling with
+    :func:`~repro.kernels.bfs.validate.validate_bfs`.
     """
     if variant not in BFS_VARIANTS:
         raise ValueError(f"unknown BFS variant {variant!r}; pick from {BFS_VARIANTS}")
@@ -150,7 +154,8 @@ def simulate_bfs(
         work = _level_costs(queue, valid, verts, pushes, scan, config,
                             variant, relaxed, block)
         stats = spec.parallel_for(config, n_threads, work,
-                                  fork=(level == 1), seed=seed + level)
+                                  fork=(level == 1), seed=seed + level,
+                                  faults=faults)
         span = stats.span
         if variant == "cilk-bag":
             # Every pennant-node allocation serialises on the µOS heap lock

@@ -15,7 +15,7 @@ related-work section §III-A implies but does not run).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -73,12 +73,17 @@ def parallel_coloring(
     cache_scale: float = 1.0,
     seed: int = 0,
     max_rounds: int = 60,
+    faults=None,
 ) -> ColoringRun:
     """Simulate the iterative parallel colouring of *graph*.
 
-    Returns a :class:`ColoringRun` with the final (always valid) colouring
-    and the total simulated cycles, from which the harness computes
-    speedups.
+    Returns a :class:`ColoringRun` with the final colouring and the total
+    simulated cycles, from which the harness computes speedups.  The
+    colouring is valid unless ``faults`` (a
+    :class:`~repro.sim.faults.FaultInjector`) kills threads holding
+    statically-dealt work — check with
+    :func:`~repro.kernels.coloring.verify.verify_coloring` after a
+    faulted run.
     """
     if spec is None:
         from repro.runtime.base import ProgrammingModel
@@ -114,7 +119,7 @@ def parallel_coloring(
         # --- tentative colouring pass (Algorithm 3) ----------------------
         st1 = spec.parallel_for(config, n_threads, tent_all.take(visit),
                                 tls_entries=tls_entries,
-                                seed=seed + 17 * run.rounds)
+                                seed=seed + 17 * run.rounds, faults=faults)
         run.add_loop(st1)
         if n_threads == 1:
             greedy_coloring(graph, order=visit, colors=run.colors)
@@ -125,7 +130,7 @@ def parallel_coloring(
 
         # --- conflict detection pass (Algorithm 4) -----------------------
         st2 = spec.parallel_for(config, n_threads, conf_all.take(visit),
-                                seed=seed + 17 * run.rounds + 1)
+                                seed=seed + 17 * run.rounds + 1, faults=faults)
         run.add_loop(st2)
         rng = np.random.default_rng((seed + 3) * 99_991 + run.rounds)
         conflicts = _detect_conflicts(graph, visit, run.colors, write_time,

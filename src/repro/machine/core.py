@@ -55,7 +55,7 @@ class Chip:
     (core occupancy, channel bank reservations) is transient.
     """
 
-    def __init__(self, config: MachineConfig, n_threads: int):
+    def __init__(self, config: MachineConfig, n_threads: int, faults=None):
         if n_threads < 1:
             raise ValueError(f"n_threads must be >= 1, got {n_threads}")
         if n_threads > config.max_threads:
@@ -64,6 +64,7 @@ class Chip:
                 f"{config.max_threads} hardware contexts")
         self.config = config
         self.n_threads = n_threads
+        self.faults = faults  # optional repro.sim.faults.FaultInjector
         self.cores = [Core(i) for i in range(config.n_cores)]
         self.channel = MemoryChannel(config.mem_banks, config.dram_transfer_cycles)
 
@@ -93,8 +94,16 @@ class Chip:
         core = self.core_of(thread)
         k = max(1, core.busy)
         iw = self.config.issue_width
-        issue_time = k * compute / iw
-        critical_path = compute / iw + stall
-        channel_done = self.channel.service(now, volume)
+        compute_eff = compute
+        jitter = 1.0
+        if self.faults is not None:
+            # Clock throttling stretches every issued cycle; transient
+            # stalls add exposed latency; jitter degrades the channel.
+            compute_eff = compute * self.faults.compute_factor(core.index, now)
+            stall = stall + self.faults.transient_stall(core.index, now)
+            jitter = self.faults.channel_factor(now)
+        issue_time = k * compute_eff / iw
+        critical_path = compute_eff / iw + stall
+        channel_done = self.channel.service(now, volume, scale=jitter)
         core.issued_cycles += compute
         return max(issue_time, critical_path, channel_done - now)

@@ -14,16 +14,31 @@ colouring conflicts, relaxed-queue duplicates).
 from __future__ import annotations
 
 import enum
+import os
 from dataclasses import dataclass, field
 from typing import Callable
 
-import numpy as np
 
 from repro.machine.config import MachineConfig
 from repro.machine.core import Chip
 from repro.machine.costs import WorkCosts
 from repro.sim.engine import Barrier, Engine
 from repro.sim.stats import ChunkExec, LoopStats
+
+#: Watchdog default: engine events per parallel region.  Far above any
+#: legitimate run (events scale with chunk count), so it only trips on
+#: runaway/livelocked simulations.  Override with REPRO_MAX_EVENTS
+#: (0 disables); REPRO_MAX_SIM_CYCLES bounds simulated time (default off).
+DEFAULT_MAX_EVENTS = 100_000_000
+
+
+def _watchdog_budgets() -> tuple[int | None, float | None]:
+    """(max_events, max_time) for a region engine, from the environment."""
+    ev = os.environ.get("REPRO_MAX_EVENTS")
+    max_events = DEFAULT_MAX_EVENTS if ev is None else (int(ev) or None)
+    ct = os.environ.get("REPRO_MAX_SIM_CYCLES")
+    max_time = float(ct) if ct else None
+    return max_events, max_time
 
 __all__ = ["ProgrammingModel", "Schedule", "Partitioner", "TlsMode",
            "RuntimeSpec", "LoopContext"]
@@ -142,8 +157,14 @@ class RuntimeSpec:
 
     def parallel_for(self, config: MachineConfig, n_threads: int,
                      work: WorkCosts, *, tls_entries: int = 0,
-                     fork: bool = True, seed: int = 0) -> LoopStats:
-        """Run one simulated parallel loop; returns its :class:`LoopStats`."""
+                     fork: bool = True, seed: int = 0,
+                     faults=None) -> LoopStats:
+        """Run one simulated parallel loop; returns its :class:`LoopStats`.
+
+        ``faults`` is an optional
+        :class:`~repro.sim.faults.FaultInjector`; pass the same instance
+        to every loop of a kernel so fault windows span the whole run.
+        """
         from repro.runtime.openmp import openmp_parallel_for
         from repro.runtime.cilk import cilk_parallel_for
         from repro.runtime.tbb import tbb_parallel_for
@@ -151,37 +172,84 @@ class RuntimeSpec:
         if self.model is ProgrammingModel.OPENMP:
             return openmp_parallel_for(config, n_threads, work,
                                        schedule=self.schedule, chunk=self.chunk,
-                                       tls_entries=tls_entries, fork=fork)
+                                       tls_entries=tls_entries, fork=fork,
+                                       faults=faults)
         if self.model is ProgrammingModel.CILK:
             return cilk_parallel_for(config, n_threads, work, grain=self.chunk,
                                      tls_mode=self.tls_mode,
                                      tls_entries=tls_entries, fork=fork,
-                                     seed=seed)
+                                     seed=seed, faults=faults)
         return tbb_parallel_for(config, n_threads, work,
                                 partitioner=self.partitioner, chunk=self.chunk,
-                                tls_entries=tls_entries, fork=fork, seed=seed)
+                                tls_entries=tls_entries, fork=fork, seed=seed,
+                                faults=faults)
 
 
 @dataclass
 class LoopContext:
-    """Per-loop simulation state shared by the runtime implementations."""
+    """Per-loop simulation state shared by the runtime implementations.
+
+    ``faults`` (a :class:`~repro.sim.faults.FaultInjector` or None) plugs
+    the fault layer into the region: kill events are armed on the region
+    engine, SMT hangs delay chunk starts, and the chip applies
+    throttle/stall/jitter inside :meth:`execute_chunk`.  Runtime worker
+    bodies must call :meth:`fault_point` at every chunk-fetch boundary and
+    join via :meth:`join` so a killed thread stops at a scheduling point
+    and never strands the barrier.
+    """
 
     config: MachineConfig
     n_threads: int
     work: WorkCosts
     stats: LoopStats = field(default_factory=LoopStats)
+    faults: object = None
 
     def __post_init__(self):
-        self.engine = Engine()
-        self.chip = Chip(self.config, self.n_threads)
+        max_events, max_time = _watchdog_budgets()
+        self.engine = Engine(max_events=max_events, max_time=max_time)
+        self.chip = Chip(self.config, self.n_threads, faults=self.faults)
         self.barrier = Barrier(self.engine, self.n_threads,
                                cost_fn=self.config.barrier_cost)
+        self.procs: dict[int, object] = {}
+
+    def spawn_workers(self, body: Callable, prefix: str) -> None:
+        """Spawn ``body(tid)`` for every thread, then arm fault injection.
+
+        Workers get stable names (``"<prefix>-w<tid>"``) so deadlock and
+        timeout diagnostics identify the stuck thread.  Kill events are
+        armed after all workers exist so every victim is addressable.
+        """
+        for tid in range(self.n_threads):
+            self.procs[tid] = self.engine.spawn(body(tid), name=f"{prefix}-w{tid}")
+        if self.faults is not None:
+            self.faults.begin_loop(self.engine, self.barrier, self.procs)
+
+    def fault_point(self, tid: int) -> None:
+        """Scheduling point: a killed thread dies here (raises ThreadKilled)."""
+        if self.faults is not None:
+            self.faults.check_kill(tid, self.engine.now)
+
+    def join(self, tid: int):
+        """Generator fragment: arrive at the region barrier.
+
+        The kill check precedes the arrival, so a dead thread never
+        occupies a barrier slot its :meth:`Barrier.drop_party` released.
+        """
+        self.fault_point(tid)
+        yield self.barrier
 
     def execute_chunk(self, tid: int, lo: int, hi: int):
         """Generator fragment: run items ``[lo, hi)`` on thread *tid*.
 
-        Yields the chunk duration; records the :class:`ChunkExec`.
+        Yields the chunk duration; records the :class:`ChunkExec`.  With
+        fault injection, a hung SMT context first waits out its freeze
+        window.
         """
+        if self.faults is not None:
+            hang = self.faults.hang_delay(tid, self.engine.now)
+            if hang > 0:
+                self.stats.hang_cycles += hang
+                yield hang
         compute, stall, volume = self.work.range_cost(lo, hi)
         core = self.chip.core_of(tid)
         core.begin()
@@ -208,4 +276,7 @@ class LoopContext:
         """Run the event loop to completion and finalise the stats."""
         end = self.engine.run()
         self.stats.span = end + (self.config.fork_cycles if fork else 0.0)
+        if self.faults is not None:
+            self.stats.killed_threads = self.faults.loop_kills
+            self.faults.end_loop(self.stats.span)
         return self.stats

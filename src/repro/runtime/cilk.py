@@ -32,11 +32,12 @@ def cilk_parallel_for(
     tls_entries: int = 0,
     fork: bool = True,
     seed: int = 0,
+    faults=None,
 ) -> LoopStats:
     """Simulate a ``cilk_for`` over *work* with the given grain size."""
     if grain < 1:
         raise ValueError(f"grain must be >= 1, got {grain}")
-    ctx = LoopContext(config, n_threads, work)
+    ctx = LoopContext(config, n_threads, work, faults=faults)
     run_work_stealing(
         ctx,
         split_threshold=grain,

@@ -32,11 +32,12 @@ def openmp_parallel_for(
     chunk: int = 100,
     tls_entries: int = 0,
     fork: bool = True,
+    faults=None,
 ) -> LoopStats:
     """Simulate ``#pragma omp parallel for schedule(...)`` over *work*."""
     if chunk < 1:
         raise ValueError(f"chunk must be >= 1, got {chunk}")
-    ctx = LoopContext(config, n_threads, work)
+    ctx = LoopContext(config, n_threads, work, faults=faults)
 
     if schedule is Schedule.STATIC:
         counter = None
@@ -67,13 +68,15 @@ def _spawn_static(ctx: LoopContext, chunk: int, tls_entries: int) -> None:
         if init:
             yield init
         for s in starts[tid::t]:
+            # A killed thread dies here: its remaining pre-dealt chunks
+            # are lost — static scheduling cannot redistribute them.
+            ctx.fault_point(tid)
             yield ctx.config.sched_chunk_cycles
             ctx.stats.sched_cycles += ctx.config.sched_chunk_cycles
             yield from ctx.execute_chunk(tid, s, min(s + chunk, n))
-        yield ctx.barrier
+        yield from ctx.join(tid)
 
-    for tid in range(t):
-        ctx.engine.spawn(body(tid))
+    ctx.spawn_workers(body, "omp-static")
 
 
 def _spawn_shared_counter(ctx: LoopContext, chunk: int, tls_entries: int,
@@ -92,6 +95,9 @@ def _spawn_shared_counter(ctx: LoopContext, chunk: int, tls_entries: int,
         if init:
             yield init
         while True:
+            # A killed thread dies before fetching, so no granted chunk
+            # is ever lost — survivors drain the shared counter.
+            ctx.fault_point(tid)
             done = counter.rmw(ctx.engine.now)
             yield done - ctx.engine.now
             lo = cursor[0]
@@ -101,8 +107,7 @@ def _spawn_shared_counter(ctx: LoopContext, chunk: int, tls_entries: int,
             hi = min(lo + size, n)
             cursor[0] = hi
             yield from ctx.execute_chunk(tid, lo, hi)
-        yield ctx.barrier
+        yield from ctx.join(tid)
 
-    for tid in range(t):
-        ctx.engine.spawn(body(tid))
+    ctx.spawn_workers(body, "omp-guided" if guided else "omp-dynamic")
     return counter

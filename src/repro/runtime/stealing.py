@@ -15,7 +15,6 @@ OpenMP's flat chunk counter in the paper's Figure 1.
 from __future__ import annotations
 
 from collections import deque as _deque
-from typing import Callable
 
 import numpy as np
 
@@ -90,6 +89,10 @@ def run_work_stealing(
             yield ctx.tls_first_touch_cycles(tls_entries, lazy=False)
             tls_done = True
         while True:
+            # A killed worker dies between chunks, before popping: its
+            # deque stays intact as plain data, so survivors steal the
+            # stranded ranges and no work is lost.
+            ctx.fault_point(wid)
             if my:
                 lo, hi = my.pop()
                 while hi - lo > split_threshold:
@@ -133,7 +136,6 @@ def run_work_stealing(
             else:
                 ctx.stats.failed_steals += 1
                 yield gen
-        yield ctx.barrier
+        yield from ctx.join(wid)
 
-    for wid in range(t):
-        ctx.engine.spawn(body(wid))
+    ctx.spawn_workers(body, "steal")

@@ -44,12 +44,13 @@ def tbb_parallel_for(
     tls_entries: int = 0,
     fork: bool = True,
     seed: int = 0,
+    faults=None,
 ) -> LoopStats:
     """Simulate ``tbb::parallel_for(blocked_range(0, n, chunk), body, p)``."""
     if chunk < 1:
         raise ValueError(f"chunk must be >= 1, got {chunk}")
     n = len(work)
-    ctx = LoopContext(config, n_threads, work)
+    ctx = LoopContext(config, n_threads, work, faults=faults)
     task_cycles = config.spawn_cycles * TASK_OVERHEAD_FACTOR
 
     if partitioner is Partitioner.SIMPLE:

@@ -1,6 +1,9 @@
 """Deterministic discrete-event simulation core."""
 
-from repro.sim.engine import Engine, Barrier, Condition, Process
+from repro.sim.engine import (Engine, Barrier, Condition, Process,
+                              SimulationError, SimulationTimeout,
+                              DeadlockError, ThreadKilled)
+from repro.sim.faults import FaultKind, FaultSpec, FaultPlan, FaultInjector
 from repro.sim.resources import AtomicVar, TicketLock, MemoryChannel
 from repro.sim.stats import ChunkExec, LoopStats
 from repro.sim.trace import gantt, thread_utilization, breakdown
@@ -10,6 +13,14 @@ __all__ = [
     "Barrier",
     "Condition",
     "Process",
+    "SimulationError",
+    "SimulationTimeout",
+    "DeadlockError",
+    "ThreadKilled",
+    "FaultKind",
+    "FaultSpec",
+    "FaultPlan",
+    "FaultInjector",
     "AtomicVar",
     "TicketLock",
     "MemoryChannel",

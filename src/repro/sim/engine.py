@@ -16,25 +16,100 @@ semantics (atomics, memory channels) live in :mod:`repro.sim.resources`
 and use time-reservation rather than engine-level blocking, which keeps
 the event count per simulated kernel proportional to the number of
 *chunks*, not the number of memory operations.
+
+Hardening (used by the fault-injection layer, :mod:`repro.sim.faults`):
+
+* a watchdog with event-count (``max_events``) and simulated-time
+  (``max_time``) budgets raising :class:`SimulationTimeout`;
+* deadlock detection that names which processes are blocked on which
+  primitive (:class:`DeadlockError`), including when ``run(until=...)``
+  drains the heap early;
+* :class:`ThreadKilled` — raised inside a process generator to model a
+  simulated thread dying mid-kernel; the engine retires the process
+  instead of crashing the simulation.
 """
 
 from __future__ import annotations
 
 import heapq
 from itertools import count
-from typing import Callable, Generator, Iterable
+from typing import Callable, Generator
 
-__all__ = ["Engine", "Barrier", "Condition", "Process"]
+__all__ = ["Engine", "Barrier", "Condition", "Process",
+           "SimulationError", "SimulationTimeout", "DeadlockError",
+           "ThreadKilled"]
+
+
+class SimulationError(RuntimeError):
+    """Base class for structured simulation failures."""
+
+
+class SimulationTimeout(SimulationError):
+    """The watchdog budget (events or simulated time) was exhausted.
+
+    Attributes name the exceeded budget and carry the engine state at the
+    moment of the timeout, plus any blocked processes — the most common
+    cause of a runaway simulation is a livelock that keeps generating
+    events without finishing.
+    """
+
+    def __init__(self, message: str, *, kind: str, now: float,
+                 events: int, blocked: list[str]):
+        super().__init__(message)
+        self.kind = kind          # "events" or "time"
+        self.now = now
+        self.events = events
+        self.blocked = blocked
+
+
+class DeadlockError(SimulationError):
+    """No pending events but processes remain blocked.
+
+    ``blocked`` lists human-readable descriptions (process name + the
+    primitive it waits on) so a hung runtime names its stuck threads
+    instead of failing with an opaque count.
+    """
+
+    def __init__(self, message: str, *, blocked: list[str]):
+        super().__init__(message)
+        self.blocked = blocked
+
+
+class ThreadKilled(Exception):
+    """A simulated thread was killed mid-kernel (fault injection).
+
+    Raised *inside* a process generator (see
+    :meth:`repro.sim.faults.FaultInjector`); the engine catches it and
+    retires the process without treating it as an error.
+    """
+
+    def __init__(self, thread: int, at: float):
+        super().__init__(f"thread {thread} killed at t={at:.1f}")
+        self.thread = thread
+        self.at = at
 
 
 class Engine:
-    """Event loop: a heap of ``(time, seq, callback)`` entries."""
+    """Event loop: a heap of ``(time, seq, callback)`` entries.
 
-    def __init__(self):
+    ``max_events`` / ``max_time`` arm the watchdog: exceeding either
+    budget raises :class:`SimulationTimeout` instead of looping forever.
+    """
+
+    def __init__(self, max_events: int | None = None,
+                 max_time: float | None = None):
+        if max_events is not None and max_events < 1:
+            raise ValueError(f"max_events must be >= 1, got {max_events}")
+        if max_time is not None and max_time < 0:
+            raise ValueError(f"max_time must be >= 0, got {max_time}")
         self._now = 0.0
         self._heap: list = []
         self._seq = count()
         self._active = 0  # processes not yet finished
+        self._processes: list[Process] = []
+        self.max_events = max_events
+        self.max_time = max_time
+        self.events_processed = 0
 
     @property
     def now(self) -> float:
@@ -47,44 +122,90 @@ class Engine:
             raise ValueError(f"negative delay {delay}")
         heapq.heappush(self._heap, (self._now + delay, next(self._seq), fn, args))
 
-    def spawn(self, gen: Generator) -> "Process":
+    def spawn(self, gen: Generator, name: str | None = None) -> "Process":
         """Register a generator as a simulated process, starting now."""
-        return Process(self, gen)
+        return Process(self, gen, name=name)
+
+    def blocked_processes(self) -> list[str]:
+        """Descriptions of every live process blocked on a primitive."""
+        out = []
+        for p in self._processes:
+            if not p.finished:
+                target = repr(p.waiting_on) if p.waiting_on is not None \
+                    else "<runnable or sleeping>"
+                out.append(f"{p.name} waiting on {target}")
+        return out
+
+    def _timeout(self, kind: str, budget) -> SimulationTimeout:
+        blocked = self.blocked_processes()
+        detail = ("; blocked: " + ", ".join(blocked)) if blocked else ""
+        return SimulationTimeout(
+            f"simulation exceeded its {kind} budget ({budget}) at "
+            f"t={self._now:.1f} after {self.events_processed} events{detail}",
+            kind=kind, now=self._now, events=self.events_processed,
+            blocked=blocked)
 
     def run(self, until: float | None = None) -> float:
         """Process events until the heap is empty (or *until* is reached).
 
-        Returns the final simulated time.
+        Returns the final simulated time.  Raises :class:`DeadlockError`
+        if the heap drains — even before *until* — while processes are
+        still blocked, and :class:`SimulationTimeout` if a watchdog
+        budget is exceeded.
         """
         while self._heap:
             t, _, fn, args = self._heap[0]
             if until is not None and t > until:
-                break
+                # Stopped early with work still pending: not a deadlock.
+                return self._now
+            if self.max_time is not None and t > self.max_time:
+                raise self._timeout("time", self.max_time)
             heapq.heappop(self._heap)
             self._now = t
             fn(*args)
-        if self._active and until is None:
-            raise RuntimeError(
-                f"deadlock: {self._active} process(es) blocked with no pending events")
+            self.events_processed += 1
+            if self.max_events is not None \
+                    and self.events_processed > self.max_events:
+                raise self._timeout("events", self.max_events)
+        if self._active:
+            blocked = self.blocked_processes()
+            lines = "\n  ".join(blocked) if blocked else "(unnamed)"
+            raise DeadlockError(
+                f"deadlock: {self._active} process(es) blocked with no "
+                f"pending events at t={self._now:.1f}:\n  {lines}",
+                blocked=blocked)
         return self._now
 
 
 class Process:
     """A generator-backed simulated thread (see module docstring)."""
 
-    def __init__(self, engine: Engine, gen: Generator):
+    def __init__(self, engine: Engine, gen: Generator, name: str | None = None):
         self.engine = engine
         self.gen = gen
+        self.name = name if name is not None else f"proc-{len(engine._processes)}"
         self.finished = False
+        self.killed = False
+        self.waiting_on = None  # Barrier/Condition currently blocking us
         engine._active += 1
+        engine._processes.append(self)
         engine.schedule(0.0, self._step)
 
+    def _retire(self, killed: bool = False) -> None:
+        self.finished = True
+        self.killed = killed
+        self.waiting_on = None
+        self.engine._active -= 1
+
     def _step(self) -> None:
+        self.waiting_on = None
         try:
             request = self.gen.send(None)
         except StopIteration:
-            self.finished = True
-            self.engine._active -= 1
+            self._retire()
+            return
+        except ThreadKilled:
+            self._retire(killed=True)
             return
         if isinstance(request, (int, float)):
             self.engine.schedule(float(request), self._step)
@@ -99,6 +220,10 @@ class Barrier:
 
     Release is charged ``cost_fn(parties)`` cycles after the last arrival
     (e.g. a logarithmic ring-hop tree on the simulated chip).
+
+    :meth:`drop_party` removes one expected arrival — the fault layer
+    calls it when a participating thread is killed, so the survivors are
+    released instead of deadlocking.
     """
 
     def __init__(self, engine: Engine, parties: int,
@@ -111,12 +236,27 @@ class Barrier:
         self._waiting: list[Process] = []
         self.trips = 0
 
+    def __repr__(self) -> str:
+        return (f"Barrier(parties={self.parties}, "
+                f"arrived={len(self._waiting)}, trips={self.trips})")
+
     def _block(self, proc: Process) -> None:
+        proc.waiting_on = self
         self._waiting.append(proc)
-        if len(self._waiting) == self.parties:
+        self._maybe_release()
+
+    def drop_party(self) -> None:
+        """One expected participant died; stop waiting for it."""
+        if self.parties <= 0:
+            raise RuntimeError("drop_party() on a barrier with no parties")
+        self.parties -= 1
+        self._maybe_release()
+
+    def _maybe_release(self) -> None:
+        if self._waiting and len(self._waiting) >= self.parties:
             waiting, self._waiting = self._waiting, []
             self.trips += 1
-            release_delay = self.cost_fn(self.parties)
+            release_delay = self.cost_fn(max(1, self.parties))
             for p in waiting:
                 self.engine.schedule(release_delay, p._step)
 
@@ -132,10 +272,15 @@ class Condition:
         self.fired = False
         self._waiting: list[Process] = []
 
+    def __repr__(self) -> str:
+        return (f"Condition(fired={self.fired}, "
+                f"waiters={len(self._waiting)})")
+
     def _block(self, proc: Process) -> None:
         if self.fired:
             self.engine.schedule(0.0, proc._step)
         else:
+            proc.waiting_on = self
             self._waiting.append(proc)
 
     def fire(self) -> None:

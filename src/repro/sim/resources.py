@@ -98,19 +98,24 @@ class MemoryChannel:
         """Number of parallel servers (DRAM banks/channels)."""
         return len(self._banks)
 
-    def service(self, now: float, volume: float) -> float:
+    def service(self, now: float, volume: float, scale: float = 1.0) -> float:
         """Transfer *volume* lines starting at *now*; returns finish time.
 
         Zero-volume requests complete immediately and reserve nothing.
+        ``scale`` multiplies the occupancy (but not the ``lines``
+        accounting) — the fault layer uses it for memory-channel latency
+        jitter on a degraded channel.
         """
         if volume < 0:
             raise ValueError(f"volume must be >= 0, got {volume}")
+        if scale <= 0:
+            raise ValueError(f"scale must be > 0, got {scale}")
         if volume == 0:
             return now
         i = min(range(len(self._banks)), key=self._banks.__getitem__)
         start = max(now, self._banks[i])
         self.wait_cycles += start - now
-        done = start + volume * self.cycles_per_line
+        done = start + volume * self.cycles_per_line * scale
         self._banks[i] = done
         self.transfers += 1
         self.lines += volume

@@ -42,6 +42,8 @@ class LoopStats:
     failed_steals: int = 0
     tasks_spawned: int = 0
     tls_inits: int = 0
+    hang_cycles: float = 0.0          # SMT-context freeze time (fault layer)
+    killed_threads: list[int] = field(default_factory=list)
     chunks: list[ChunkExec] = field(default_factory=list)
 
     @property

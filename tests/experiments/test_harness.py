@@ -129,3 +129,161 @@ class TestPerGraphReport:
         from repro.experiments.harness import PanelResult
         with pytest.raises(KeyError):
             format_panel_per_graph(PanelResult("t", [1]), "nope")
+
+
+class TestThreadsValidation:
+    @pytest.mark.parametrize("bad", ["0", "-3", "1,0,2", "abc", "1,abc"])
+    def test_rejects_bad_entries(self, monkeypatch, bad):
+        monkeypatch.setenv("REPRO_THREADS", bad)
+        with pytest.raises(ValueError, match="REPRO_THREADS"):
+            panel_threads()
+
+    def test_rejects_empty_list(self, monkeypatch):
+        monkeypatch.setenv("REPRO_THREADS", " , ,")
+        with pytest.raises(ValueError, match="no thread counts"):
+            panel_threads()
+
+    def test_error_names_the_offending_token(self, monkeypatch):
+        monkeypatch.setenv("REPRO_THREADS", "4,x,8")
+        with pytest.raises(ValueError, match="'x'"):
+            panel_threads()
+
+
+class TestGeomeanNaN:
+    def test_skips_nan(self):
+        assert geomean([2.0, float("nan"), 8.0]) == pytest.approx(4.0)
+
+    def test_all_nan_is_nan(self):
+        import math
+        assert math.isnan(geomean([float("nan")] * 3))
+
+
+class TestResilience:
+    """Acceptance: a sweep with one injected failing cell completes with
+    that cell NaN, retried the configured number of times, and every
+    other cell intact."""
+
+    def test_failing_cell_isolated(self):
+        import math
+        calls = {}
+
+        def runner(g, v, t):
+            calls[(g, v, t)] = calls.get((g, v, t), 0) + 1
+            if (g, v, t) == ("g2", "A", 10):
+                raise RuntimeError("injected failure")
+            return 1000.0 / t
+
+        panel = run_panel("p", runner, ["A", "B"], graphs=["g1", "g2"],
+                          threads=[1, 10], retries=2)
+        assert calls[("g2", "A", 10)] == 3  # initial try + 2 retries
+        assert list(panel.failures) == [("g2", "A", 10)]
+        assert "injected failure" in panel.failures[("g2", "A", 10)]
+        assert "failed" in panel.notes
+        assert math.isnan(panel.per_graph[("A", "g2")][1])
+        # every other cell intact — g1 series and variant B untouched
+        assert np.allclose(panel.per_graph[("A", "g1")], [1.0, 10.0])
+        assert np.allclose(panel.series["B"], [1.0, 10.0])
+        # the geomean skips the NaN graph instead of poisoning the series
+        assert np.allclose(panel.series["A"], [1.0, 10.0])
+
+    def test_flaky_cell_recovers_within_budget(self):
+        attempts = {"n": 0}
+
+        def runner(g, v, t):
+            if t == 10:
+                attempts["n"] += 1
+                if attempts["n"] < 3:
+                    raise OSError("transient")
+            return 100.0 / t
+
+        panel = run_panel("p", runner, ["A"], graphs=["g1"],
+                          threads=[1, 10], retries=2)
+        assert not panel.failures
+        assert panel.series["A"][1] == pytest.approx(10.0)
+
+    def test_on_error_raise_restores_fail_fast(self):
+        def runner(g, v, t):
+            raise RuntimeError("boom")
+
+        with pytest.raises(RuntimeError, match="boom"):
+            run_panel("p", runner, ["A"], graphs=["g1"], threads=[1],
+                      retries=0, on_error="raise")
+
+    def test_invalid_retries_and_on_error(self):
+        runner = TestRunPanel.runner
+        with pytest.raises(ValueError, match="retries"):
+            run_panel("p", runner, ["A"], graphs=["g1"], threads=[1],
+                      retries=-1)
+        with pytest.raises(ValueError, match="on_error"):
+            run_panel("p", runner, ["A"], graphs=["g1"], threads=[1],
+                      on_error="explode")
+
+    def test_retries_default_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_RETRIES", "4")
+        calls = {"n": 0}
+
+        def runner(g, v, t):
+            calls["n"] += 1
+            raise RuntimeError("always")
+
+        run_panel("p", runner, ["A"], graphs=["g1"], threads=[1])
+        assert calls["n"] == 5
+
+    def test_all_baselines_failed_gives_nan_baseline(self):
+        import math
+
+        def runner(g, v, t):
+            if t == 1:
+                raise RuntimeError("no baseline")
+            return 10.0
+
+        panel = run_panel("p", runner, ["A"], graphs=["g1"],
+                          threads=[1, 10], retries=0)
+        assert math.isnan(panel.baselines["g1"])
+
+
+class TestCheckpointResume:
+    def test_resume_skips_finished_retries_failed(self, tmp_path):
+        import math
+        path = tmp_path / "ck.json"
+        state = {"fail": True, "calls": []}
+
+        def runner(g, v, t):
+            state["calls"].append((g, v, t))
+            if t == 10 and state["fail"]:
+                raise RuntimeError("first pass fails")
+            return 100.0 / t
+
+        p1 = run_panel("p", runner, ["A"], graphs=["g1"], threads=[1, 10],
+                       retries=0, checkpoint=path)
+        assert math.isnan(p1.per_graph[("A", "g1")][1])
+        assert path.exists()
+
+        state["fail"] = False
+        first_pass = list(state["calls"])
+        p2 = run_panel("p", runner, ["A"], graphs=["g1"], threads=[1, 10],
+                       retries=0, checkpoint=path)
+        resumed = state["calls"][len(first_pass):]
+        assert resumed == [("g1", "A", 10)]  # finite cell skipped, NaN retried
+        assert not p2.failures
+        assert p2.series["A"][1] == pytest.approx(10.0)
+
+    def test_checkpoint_default_from_env(self, tmp_path, monkeypatch):
+        path = tmp_path / "env.json"
+        monkeypatch.setenv("REPRO_CHECKPOINT", str(path))
+        run_panel("p", TestRunPanel.runner, ["fast"], graphs=["g1"],
+                  threads=[1])
+        assert path.exists()
+
+
+class TestBaselinePoint:
+    def test_zero_point_prepended_and_used(self):
+        def runner(g, v, t):
+            return 100.0 * (1.0 + t)  # t=0 is the fastest cell
+
+        panel = run_panel("p", runner, ["A"], graphs=["g1"],
+                          threads=[10], baseline_point=0,
+                          per_variant_baseline=True)
+        assert panel.thread_counts == [0, 10]
+        assert panel.series["A"][0] == pytest.approx(1.0)
+        assert panel.series["A"][1] == pytest.approx(100.0 / 1100.0)

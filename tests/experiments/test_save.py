@@ -46,3 +46,60 @@ class TestRoundTrip:
         path.write_text("{}")
         with pytest.raises(ValueError):
             load_panels(path)
+
+
+class TestFailuresRoundTrip:
+    def test_failures_survive_roundtrip(self):
+        p = make_panel()
+        p.failures = {("g1", "A", 31): "RuntimeError: boom"}
+        q = panel_from_dict(panel_to_dict(p))
+        assert q.failures == p.failures
+
+    def test_old_files_without_failures_load(self):
+        d = panel_to_dict(make_panel())
+        del d["failures"]
+        assert panel_from_dict(d).failures == {}
+
+
+class TestCheckpoint:
+    def test_roundtrip_with_nan(self, tmp_path):
+        import math
+        from repro.experiments.save import load_checkpoint, save_checkpoint
+        path = tmp_path / "ck.json"
+        cells = {("g1", "A", 1): 1000.0, ("g1", "A", 31): float("nan")}
+        save_checkpoint(path, "panel", cells)
+        loaded = load_checkpoint(path, "panel")
+        assert loaded[("g1", "A", 1)] == 1000.0
+        assert math.isnan(loaded[("g1", "A", 31)])
+        assert set(loaded) == set(cells)
+
+    def test_missing_file_is_empty(self, tmp_path):
+        from repro.experiments.save import load_checkpoint
+        assert load_checkpoint(tmp_path / "nope.json", "panel") == {}
+
+    def test_unknown_title_is_empty(self, tmp_path):
+        from repro.experiments.save import load_checkpoint, save_checkpoint
+        path = tmp_path / "ck.json"
+        save_checkpoint(path, "a", {("g", "v", 1): 1.0})
+        assert load_checkpoint(path, "b") == {}
+
+    def test_titles_merge_in_one_file(self, tmp_path):
+        from repro.experiments.save import load_checkpoint, save_checkpoint
+        path = tmp_path / "ck.json"
+        save_checkpoint(path, "a", {("g", "v", 1): 1.0})
+        save_checkpoint(path, "b", {("g", "v", 2): 2.0})
+        assert load_checkpoint(path, "a") == {("g", "v", 1): 1.0}
+        assert load_checkpoint(path, "b") == {("g", "v", 2): 2.0}
+
+    def test_corrupt_file_overwritten_not_crashed(self, tmp_path):
+        from repro.experiments.save import load_checkpoint, save_checkpoint
+        path = tmp_path / "ck.json"
+        path.write_text("{not json")
+        save_checkpoint(path, "a", {("g", "v", 1): 1.0})
+        assert load_checkpoint(path, "a") == {("g", "v", 1): 1.0}
+
+    def test_no_tmp_file_left_behind(self, tmp_path):
+        from repro.experiments.save import save_checkpoint
+        path = tmp_path / "ck.json"
+        save_checkpoint(path, "a", {("g", "v", 1): 1.0})
+        assert [f.name for f in tmp_path.iterdir()] == ["ck.json"]

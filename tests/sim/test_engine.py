@@ -189,3 +189,213 @@ class TestCondition:
         eng.spawn(waiter())
         eng.run()
         assert log == [2.0]
+
+    def test_fire_with_no_waiters_releases_later_arrival(self):
+        eng = Engine()
+        log = []
+        cond = Condition(eng)
+
+        def firer():
+            yield 1.0
+            cond.fire()
+
+        def late_waiter():
+            yield 5.0
+            yield cond  # fired long ago: passes straight through
+            log.append(eng.now)
+
+        eng.spawn(firer())
+        eng.spawn(late_waiter())
+        eng.run()
+        assert log == [5.0]
+
+
+class TestWatchdog:
+    @staticmethod
+    def ticker(eng):
+        def proc():
+            while True:
+                yield 1.0
+        return proc
+
+    def test_event_budget(self):
+        from repro.sim.engine import SimulationTimeout
+        eng = Engine(max_events=50)
+        eng.spawn(self.ticker(eng)())
+        with pytest.raises(SimulationTimeout, match="event") as exc:
+            eng.run()
+        assert exc.value.kind == "events"
+        assert exc.value.events > 50
+
+    def test_time_budget(self):
+        from repro.sim.engine import SimulationTimeout
+        eng = Engine(max_time=100.0)
+        eng.spawn(self.ticker(eng)())
+        with pytest.raises(SimulationTimeout, match="time") as exc:
+            eng.run()
+        assert exc.value.kind == "time"
+        assert exc.value.now == pytest.approx(100.0)
+
+    def test_budgets_off_by_default(self):
+        eng = Engine()
+
+        def proc():
+            for _ in range(500):
+                yield 1.0
+
+        eng.spawn(proc())
+        assert eng.run() == 500.0
+        assert eng.events_processed >= 500
+
+    def test_timeout_reports_blocked_processes(self):
+        from repro.sim.engine import SimulationTimeout
+        eng = Engine(max_events=20)
+        barrier = Barrier(eng, 2)
+
+        def stuck():
+            yield barrier
+
+        def spinner():
+            while True:
+                yield 1.0
+
+        eng.spawn(stuck(), name="stuck-worker")
+        eng.spawn(spinner(), name="spinner")
+        with pytest.raises(SimulationTimeout) as exc:
+            eng.run()
+        assert any("stuck-worker" in b for b in exc.value.blocked)
+
+
+class TestDeadlockDiagnostics:
+    def test_names_blocked_process_and_primitive(self):
+        from repro.sim.engine import DeadlockError
+        eng = Engine()
+        barrier = Barrier(eng, 2)
+
+        def proc():
+            yield barrier
+
+        eng.spawn(proc(), name="omp-w0")
+        with pytest.raises(DeadlockError, match="omp-w0") as exc:
+            eng.run()
+        assert "Barrier" in str(exc.value)
+        assert len(exc.value.blocked) == 1
+
+    def test_condition_waiter_named(self):
+        from repro.sim.engine import DeadlockError
+        eng = Engine()
+        cond = Condition(eng)
+
+        def proc():
+            yield cond
+
+        eng.spawn(proc(), name="idle-worker")
+        with pytest.raises(DeadlockError, match="idle-worker"):
+            eng.run()
+
+    def test_run_until_still_detects_drained_heap_deadlock(self):
+        # Regression: run(until=...) used to skip the deadlock check when
+        # the heap drained before the horizon, silently returning.
+        from repro.sim.engine import DeadlockError
+        eng = Engine()
+        barrier = Barrier(eng, 2)
+
+        def proc():
+            yield barrier
+
+        eng.spawn(proc(), name="w0")
+        with pytest.raises(DeadlockError, match="w0"):
+            eng.run(until=1e9)
+
+    def test_run_until_pending_events_is_not_deadlock(self):
+        eng = Engine()
+        barrier = Barrier(eng, 2)
+        log = []
+
+        def blocked():
+            yield barrier
+            log.append(eng.now)
+
+        def late():
+            yield 100.0
+            yield barrier
+            log.append(eng.now)
+
+        eng.spawn(blocked())
+        eng.spawn(late())
+        eng.run(until=10.0)  # late arrival still pending: fine
+        assert log == []
+        eng.run()
+        assert log == [100.0, 100.0]
+
+
+class TestDropParty:
+    def test_survivors_released(self):
+        eng = Engine()
+        done = []
+        barrier = Barrier(eng, 3)
+
+        def proc():
+            yield barrier
+            done.append(eng.now)
+
+        eng.spawn(proc())
+        eng.spawn(proc())
+
+        def reaper():
+            yield 5.0
+            barrier.drop_party()
+
+        eng.spawn(reaper())
+        eng.run()
+        assert len(done) == 2
+
+    def test_drop_below_zero_rejected(self):
+        eng = Engine()
+        barrier = Barrier(eng, 1)
+        barrier.drop_party()
+        with pytest.raises(RuntimeError, match="no parties"):
+            barrier.drop_party()
+
+    def test_drop_then_reuse(self):
+        eng = Engine()
+        count = []
+        barrier = Barrier(eng, 3)
+        barrier.drop_party()
+
+        def proc():
+            yield barrier
+            yield 1.0
+            yield barrier
+            count.append(eng.now)
+
+        eng.spawn(proc())
+        eng.spawn(proc())
+        eng.run()
+        assert barrier.trips == 2
+        assert count == [1.0, 1.0]
+
+
+class TestThreadKilledRetire:
+    def test_killed_process_marks_flag(self):
+        from repro.sim.engine import ThreadKilled
+        eng = Engine()
+
+        def proc():
+            yield 1.0
+            raise ThreadKilled(0, eng.now)
+
+        p = eng.spawn(proc())
+        eng.run()
+        assert p.finished and p.killed
+
+    def test_other_exceptions_propagate(self):
+        eng = Engine()
+
+        def proc():
+            yield 1.0
+            raise ValueError("boom")
+
+        eng.spawn(proc())
+        with pytest.raises(ValueError, match="boom"):
+            eng.run()

@@ -87,3 +87,19 @@ class TestMemoryChannel:
         for v in volumes:
             ch.service(0.0, v)
         assert ch.lines == pytest.approx(sum(volumes))
+
+
+class TestChannelScale:
+    def test_jitter_scale_stretches_occupancy(self):
+        from repro.sim.resources import MemoryChannel
+        a = MemoryChannel(banks=1, cycles_per_line=2.0)
+        b = MemoryChannel(banks=1, cycles_per_line=2.0)
+        done_a = a.service(0.0, 100.0)
+        done_b = b.service(0.0, 100.0, scale=3.0)
+        assert done_b == pytest.approx(3.0 * done_a)
+        assert a.lines == b.lines == 100.0  # accounting ignores the scale
+
+    def test_invalid_scale_rejected(self):
+        from repro.sim.resources import MemoryChannel
+        with pytest.raises(ValueError, match="scale"):
+            MemoryChannel(1, 2.0).service(0.0, 10.0, scale=0.0)
