@@ -1,10 +1,27 @@
-"""Small shared helpers: seeded RNG construction and argument validation."""
+"""Small shared helpers: seeded RNG construction, argument validation,
+and crash-safe file writes."""
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 
-__all__ = ["rng_from_seed", "check_positive", "check_nonnegative", "as_int_array"]
+__all__ = ["rng_from_seed", "check_positive", "check_nonnegative",
+           "as_int_array", "atomic_write_text"]
+
+
+def atomic_write_text(path: str | os.PathLike, text: str) -> None:
+    """Write *text* to *path* atomically (tmp file + ``os.replace``).
+
+    Used for every persisted artifact (checkpoints, metrics dumps,
+    traces) so a crash mid-write never leaves a corrupt file behind.
+    """
+    path = os.fspath(path)
+    tmp = f"{path}.tmp"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        fh.write(text)
+    os.replace(tmp, path)
 
 
 def rng_from_seed(seed) -> np.random.Generator:

@@ -5,6 +5,17 @@ Regenerates the paper's tables and figures as ASCII tables, e.g.::
     repro-experiments table1
     repro-experiments fig1 --fast
     repro-experiments all
+
+Telemetry (``repro.obs``):
+
+* ``--trace PATH`` / ``--metrics PATH`` on any figure run wraps the
+  whole run in an :class:`~repro.obs.Observer` and writes the Chrome
+  trace / metrics JSONL next to the ASCII output;
+* ``profile`` runs one instrumented kernel and emits both artifacts
+  plus an ASCII Gantt (see :mod:`repro.experiments.profile`);
+* ``diff-metrics BASELINE CURRENT`` compares two metrics dumps and
+  exits non-zero on cycle-breakdown drift past ``--threshold`` — the
+  CI perf-regression gate.
 """
 
 from __future__ import annotations
@@ -13,11 +24,16 @@ import argparse
 import os
 import sys
 import time
+from contextlib import nullcontext
 
 __all__ = ["main"]
 
 _CHOICES = ["table1", "fig1", "fig2", "fig3", "fig4", "fig-faults",
-            "ablations", "chunk-sweep", "all"]
+            "ablations", "chunk-sweep", "profile", "diff-metrics", "all"]
+
+#: Figure runs that honour --trace/--metrics instrumentation.
+_OBSERVABLE = {"fig1", "fig2", "fig3", "fig4", "fig-faults", "ablations",
+               "chunk-sweep", "all"}
 
 
 def main(argv=None) -> int:
@@ -27,6 +43,9 @@ def main(argv=None) -> int:
         description="Regenerate the paper's tables and figures on the "
                     "simulated Intel MIC machine.")
     parser.add_argument("what", choices=_CHOICES, help="experiment to run")
+    parser.add_argument("paths", nargs="*", default=[],
+                        help="for diff-metrics: BASELINE and CURRENT "
+                             "metrics JSONL files")
     parser.add_argument("--fast", action="store_true",
                         help="subset of graphs/thread counts (sets REPRO_FAST)")
     parser.add_argument("--graphs", default=None,
@@ -40,6 +59,24 @@ def main(argv=None) -> int:
                              "re-run with the same path to resume)")
     parser.add_argument("--fault-seed", type=int, default=None,
                         help="fault scenario seed (sets REPRO_FAULT_SEED)")
+    parser.add_argument("--trace", default=None, metavar="PATH",
+                        help="record a Chrome trace-event JSON of the run "
+                             "(open in Perfetto)")
+    parser.add_argument("--metrics", default=None, metavar="PATH",
+                        help="record per-loop metric frames as JSONL")
+    parser.add_argument("--kernel", default="coloring",
+                        choices=["coloring", "bfs"],
+                        help="profile: kernel to instrument")
+    parser.add_argument("--graph", default="auto",
+                        help="profile: suite graph to run on")
+    parser.add_argument("--variant", default=None,
+                        help="profile: runtime variant "
+                             "(default: the kernel's OpenMP variant)")
+    parser.add_argument("--profile-threads", type=int, default=31,
+                        help="profile: simulated thread count")
+    parser.add_argument("--threshold", type=float, default=None,
+                        help="diff-metrics: relative drift that fails the "
+                             "diff (default 0.20)")
     args = parser.parse_args(argv)
 
     if args.fast:
@@ -55,46 +92,86 @@ def main(argv=None) -> int:
     if args.fault_seed is not None:
         os.environ["REPRO_FAULT_SEED"] = str(args.fault_seed)
 
+    what = args.what
+    if what == "diff-metrics":
+        return _diff_metrics(args)
+    if what == "profile":
+        from repro.experiments.profile import (DEFAULT_METRICS, DEFAULT_TRACE,
+                                               run_profile)
+        return run_profile(
+            kernel=args.kernel, graph=args.graph, variant=args.variant,
+            threads=args.profile_threads,
+            trace_path=args.trace or DEFAULT_TRACE,
+            metrics_path=args.metrics or DEFAULT_METRICS)
+
     from repro.experiments.report import print_panel
     from repro.experiments.table1 import run_table1
 
+    observe = (args.trace or args.metrics) and what in _OBSERVABLE
+    if observe:
+        from repro.obs import Observer
+        obs = Observer(trace=bool(args.trace), metrics=bool(args.metrics))
+    else:
+        obs = None
+
     t0 = time.time()
-    what = args.what
-    if what in ("table1", "all"):
-        run_table1()
-        print()
-    if what in ("fig1", "all"):
-        from repro.experiments.fig1_coloring import run_fig1
-        for panel in run_fig1().values():
-            print_panel(panel)
-    if what in ("fig2", "all"):
-        from repro.experiments.fig2_shuffled import run_fig2
-        print_panel(run_fig2())
-    if what in ("fig3", "all"):
-        from repro.experiments.fig3_irregular import run_fig3
-        for panel in run_fig3().values():
-            print_panel(panel)
-    if what in ("fig4", "all"):
-        from repro.experiments.fig4_bfs import run_fig4
-        for panel in run_fig4().values():
-            print_panel(panel)
-    if what in ("fig-faults", "all"):
-        from repro.experiments.fig_faults import (format_kill_survival,
-                                                  run_fig_faults)
-        for panel in run_fig_faults().values():
-            print_panel(panel)
-        print("Kill survival (one thread killed mid-colouring):")
-        print(format_kill_survival())
-        print()
-    if what == "chunk-sweep":
-        from repro.experiments.chunk_sweep import run_chunk_sweep
-        print_panel(run_chunk_sweep())
-    if what in ("ablations", "all"):
-        from repro.experiments.ablations import run_all_ablations
-        for panel in run_all_ablations().values():
-            print_panel(panel)
+    with obs if obs is not None else nullcontext():
+        if what in ("table1", "all"):
+            run_table1()
+            print()
+        if what in ("fig1", "all"):
+            from repro.experiments.fig1_coloring import run_fig1
+            for panel in run_fig1().values():
+                print_panel(panel)
+        if what in ("fig2", "all"):
+            from repro.experiments.fig2_shuffled import run_fig2
+            print_panel(run_fig2())
+        if what in ("fig3", "all"):
+            from repro.experiments.fig3_irregular import run_fig3
+            for panel in run_fig3().values():
+                print_panel(panel)
+        if what in ("fig4", "all"):
+            from repro.experiments.fig4_bfs import run_fig4
+            for panel in run_fig4().values():
+                print_panel(panel)
+        if what in ("fig-faults", "all"):
+            from repro.experiments.fig_faults import (format_kill_survival,
+                                                      run_fig_faults)
+            for panel in run_fig_faults().values():
+                print_panel(panel)
+            print("Kill survival (one thread killed mid-colouring):")
+            print(format_kill_survival())
+            print()
+        if what == "chunk-sweep":
+            from repro.experiments.chunk_sweep import run_chunk_sweep
+            print_panel(run_chunk_sweep())
+        if what in ("ablations", "all"):
+            from repro.experiments.ablations import run_all_ablations
+            for panel in run_all_ablations().values():
+                print_panel(panel)
+    if obs is not None:
+        obs.write(trace_path=args.trace, metrics_path=args.metrics)
+        for path, label in ((args.trace, "trace"), (args.metrics, "metrics")):
+            if path:
+                print(f"[{label} written to {path}]", file=sys.stderr)
     print(f"[done in {time.time() - t0:.1f}s]", file=sys.stderr)
     return 0
+
+
+def _diff_metrics(args) -> int:
+    """``diff-metrics BASELINE CURRENT``: 0 iff no drift past threshold."""
+    from repro.obs.diff import DEFAULT_THRESHOLD, diff_metrics_files
+
+    if len(args.paths) != 2:
+        print("diff-metrics needs exactly two paths: BASELINE CURRENT",
+              file=sys.stderr)
+        return 2
+    threshold = args.threshold if args.threshold is not None \
+        else DEFAULT_THRESHOLD
+    report = diff_metrics_files(args.paths[0], args.paths[1],
+                                threshold=threshold)
+    print(report.format())
+    return 0 if report.ok else 1
 
 
 if __name__ == "__main__":

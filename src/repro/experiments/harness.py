@@ -247,12 +247,27 @@ def run_panel(
 
 
 def _run_cell(runner, key, retries: int, on_error: str, failures: dict) -> float:
-    """One panel cell with bounded retry; NaN (recorded) after the budget."""
+    """One panel cell with bounded retry; NaN (recorded) after the budget.
+
+    When a metrics registry (:mod:`repro.obs.metrics`) is active, the cell
+    runs inside ``registry.cell(graph=..., variant=..., threads=...)`` so
+    every telemetry frame the runner emits is labelled with its sweep
+    coordinates.
+    """
+    from contextlib import nullcontext
+
+    from repro.obs import metrics as _obs_metrics
+
     g, v, t = key
+    registry = _obs_metrics.active()
     error = None
     for _ in range(1 + retries):
+        # The cell scope is single-use: rebuild it per attempt.
+        scope = registry.cell(graph=g, variant=v, threads=t) \
+            if registry is not None else nullcontext()
         try:
-            return runner(g, v, t)
+            with scope:
+                return runner(g, v, t)
         except Exception as exc:  # noqa: BLE001 — cell isolation is the point
             error = exc
     if on_error == "raise":

@@ -1,0 +1,119 @@
+"""``repro-experiments profile`` — one instrumented kernel run.
+
+Runs a single kernel execution under the full telemetry stack
+(:class:`repro.obs.Observer`) and writes the two artifacts:
+
+* a Chrome trace-event JSON (load it at https://ui.perfetto.dev) with
+  one track per simulated thread plus the resource and engine tracks,
+* a JSONL metrics dump, one cycle-breakdown frame per parallel loop,
+  suitable for ``repro-experiments diff-metrics``.
+
+It also prints an ASCII Gantt chart of the longest loop and a
+reconciliation summary showing that the exported breakdown accounts for
+the loop's full thread-cycle budget — the invariant the telemetry layer
+guarantees by construction.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.machine.config import KNF
+from repro.obs import Observer
+from repro.obs.metrics import MetricsFrame
+from repro.sim.trace import breakdown as stats_breakdown
+from repro.sim.trace import gantt
+
+__all__ = ["run_profile", "reconciliation", "DEFAULT_TRACE",
+           "DEFAULT_METRICS"]
+
+DEFAULT_TRACE = "trace.json"
+DEFAULT_METRICS = "metrics.jsonl"
+
+#: Kernel name -> runner(graph, variant, threads) -> KernelRun.
+_KERNELS = ("coloring", "bfs")
+
+
+def _run_kernel(kernel: str, graph_name: str, variant: str,
+                n_threads: int, seed: int = 0):
+    """Execute one kernel run, returning its ``KernelRun``."""
+    from repro.experiments.harness import ordered_suite_graph, scale_of
+    from repro.graph.suite import suite_graph
+
+    if kernel == "coloring":
+        from repro.experiments.fig1_coloring import COLORING_VARIANTS
+        from repro.kernels.coloring.parallel import parallel_coloring
+        if variant not in COLORING_VARIANTS:
+            raise ValueError(
+                f"unknown coloring variant {variant!r} "
+                f"(choose from {sorted(COLORING_VARIANTS)})")
+        return parallel_coloring(
+            ordered_suite_graph(graph_name, "natural"), n_threads,
+            COLORING_VARIANTS[variant], config=KNF,
+            cache_scale=scale_of(graph_name), seed=seed)
+    if kernel == "bfs":
+        from repro.experiments.fig4_bfs import BLOCK_SIZE, _BFS_VARIANTS
+        from repro.kernels.bfs.layered import simulate_bfs
+        if variant not in _BFS_VARIANTS:
+            raise ValueError(
+                f"unknown bfs variant {variant!r} "
+                f"(choose from {sorted(_BFS_VARIANTS)})")
+        kind, relaxed = _BFS_VARIANTS[variant]
+        return simulate_bfs(suite_graph(graph_name), n_threads, variant=kind,
+                            relaxed=relaxed, block=BLOCK_SIZE, config=KNF,
+                            cache_scale=scale_of(graph_name), seed=seed)
+    raise ValueError(f"unknown kernel {kernel!r} (choose from {_KERNELS})")
+
+
+def reconciliation(frames: list[MetricsFrame]) -> tuple[float, str]:
+    """(worst relative gap, summary line) of the breakdown invariant.
+
+    For every frame, the six breakdown components must sum to the
+    thread-cycle budget ``span * n_threads``; the gap is reported
+    relative to the budget.
+    """
+    worst = 0.0
+    for frame in frames:
+        budget = frame.thread_budget
+        if budget <= 0:
+            continue
+        gap = abs(sum(frame.breakdown().values()) - budget) / budget
+        worst = max(worst, gap)
+    summary = (f"breakdown reconciliation: worst gap {worst:.3%} of the "
+               f"thread-cycle budget over {len(frames)} loop frame(s)")
+    return worst, summary
+
+
+def run_profile(kernel: str = "coloring", graph: str = "auto",
+                variant: str | None = None, threads: int = 31,
+                trace_path: str | os.PathLike = DEFAULT_TRACE,
+                metrics_path: str | os.PathLike = DEFAULT_METRICS,
+                seed: int = 0) -> int:
+    """Run one instrumented kernel execution and write both artifacts."""
+    if variant is None:
+        variant = "OpenMP-dynamic" if kernel == "coloring" \
+            else "OpenMP-Block-relaxed"
+    with Observer() as obs:
+        with obs.registry.cell(graph=graph, variant=variant, threads=threads):
+            run = _run_kernel(kernel, graph, variant, threads, seed=seed)
+    obs.write(trace_path=trace_path, metrics_path=metrics_path)
+
+    frames = obs.frames
+    print(f"{kernel} on {graph} / {variant} / {threads} threads: "
+          f"{run.total_cycles:.0f} simulated cycles over "
+          f"{len(frames)} parallel loops")
+    print(f"trace:   {os.fspath(trace_path)} "
+          f"({len(obs.tracer.events)} events — open in Perfetto)")
+    print(f"metrics: {os.fspath(metrics_path)} ({len(frames)} frames)")
+    print()
+
+    if run.loop_stats:
+        longest = max(run.loop_stats, key=lambda s: s.span)
+        print("longest loop:")
+        print(gantt(longest))
+        print(stats_breakdown(longest, threads))
+        print()
+
+    _, summary = reconciliation(frames)
+    print(summary)
+    return 0

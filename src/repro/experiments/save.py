@@ -20,6 +20,7 @@ import os
 
 import numpy as np
 
+from repro._util import atomic_write_text
 from repro.experiments.harness import PanelResult
 
 __all__ = ["panel_to_dict", "panel_from_dict", "save_panels", "load_panels",
@@ -82,10 +83,7 @@ def load_panels(path: str | os.PathLike) -> dict[str, PanelResult]:
 
 def _atomic_dump(payload: dict, path: str) -> None:
     """Write JSON atomically so a crash never corrupts the file."""
-    tmp = f"{path}.tmp"
-    with open(tmp, "w", encoding="utf-8") as fh:
-        json.dump(payload, fh, indent=1)
-    os.replace(tmp, path)
+    atomic_write_text(path, json.dumps(payload, indent=1))
 
 
 def save_checkpoint(path: str | os.PathLike, title: str,

@@ -40,6 +40,7 @@ import numpy as np
 
 from repro.graph.csr import CSRGraph
 from repro.machine.config import MachineConfig
+from repro.obs import metrics as _obs_metrics
 
 __all__ = ["AccessProfile", "access_profile", "access_profile_cached"]
 
@@ -161,6 +162,12 @@ def access_profile(
 
 
 @lru_cache(maxsize=1024)
+def _access_profile_lru(graph: CSRGraph, config: MachineConfig,
+                        n_threads: int, state_bytes: int,
+                        cache_scale: float) -> AccessProfile:
+    return access_profile(graph, config, n_threads, state_bytes, cache_scale)
+
+
 def access_profile_cached(graph: CSRGraph, config: MachineConfig,
                           n_threads: int, state_bytes: int = 4,
                           cache_scale: float = 1.0) -> AccessProfile:
@@ -168,5 +175,23 @@ def access_profile_cached(graph: CSRGraph, config: MachineConfig,
 
     Thread sweeps recompute the same per-edge pricing many times; this
     keeps the experiment harness linear in distinct configurations.
+
+    When a metrics registry (:mod:`repro.obs.metrics`) is active, every
+    *use* of a profile — memoised or not — records the expected cache
+    hit-tier split of the sweep (local / peer / DRAM accesses) so the
+    per-loop frames can attribute memory behaviour; the recording sits
+    outside the LRU wrapper on purpose.
     """
-    return access_profile(graph, config, n_threads, state_bytes, cache_scale)
+    profile = _access_profile_lru(graph, config, n_threads, state_bytes,
+                                  cache_scale)
+    registry = _obs_metrics.active()
+    if registry is not None:
+        accesses = float(graph.n_directed_entries)
+        registry.counter("cache.sweeps").inc(1)
+        registry.counter("cache.accesses", tier="local").inc(
+            profile.p_local * accesses)
+        registry.counter("cache.accesses", tier="peer").inc(
+            profile.p_remote * accesses)
+        registry.counter("cache.accesses", tier="dram").inc(
+            profile.p_dram * accesses)
+    return profile

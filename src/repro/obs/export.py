@@ -1,0 +1,116 @@
+"""Exporters: Chrome trace-event JSON and JSONL metrics dumps.
+
+The trace export targets the `Chrome trace-event format
+<https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU>`_
+— load the file in Perfetto (https://ui.perfetto.dev) or
+``chrome://tracing``.  One track per simulated software thread plus one
+per serialised resource; timestamps are **simulated cycles** reported in
+the format's microsecond field (1 cycle == 1 µs on the UI's axis), so
+traces are byte-stable across runs and machines.
+
+Metrics dumps are JSON Lines: one :class:`~repro.obs.metrics.MetricsFrame`
+object per line, preceded by a single header line (``{"repro_metrics":
+1}``) identifying the file.  Writes go through the shared atomic-write
+helper so a crash never leaves a half-written artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro._util import atomic_write_text
+from repro.obs.metrics import MetricsFrame, MetricsRegistry
+from repro.obs.tracer import PROCESS_NAMES, Tracer
+
+__all__ = ["chrome_trace_events", "write_chrome_trace",
+           "write_metrics_jsonl", "load_metrics_jsonl", "HEADER"]
+
+#: First line of every metrics JSONL dump (format marker + version).
+HEADER = {"repro_metrics": 1}
+
+
+def chrome_trace_events(tracer: Tracer) -> list[dict]:
+    """The tracer's events as finished Chrome trace-event entries.
+
+    Adds ``process_name`` / ``thread_name`` metadata events, maps string
+    track ids (resource names) to stable integers, and closes any spans
+    a deadlocked or crashed region left open so every ``B`` has a
+    matching ``E`` — a requirement the tests assert.
+    """
+    events: list[dict] = []
+    track_ids: dict[tuple, int] = {}
+    named_pids = set()
+    max_ts = max((ev["ts"] for ev in tracer.events), default=tracer.offset)
+
+    def resolve(pid: int, tid) -> int:
+        if isinstance(tid, int):
+            return tid
+        key = (pid, tid)
+        if key not in track_ids:
+            # Stable small ids in order of first appearance (deterministic
+            # because event order is deterministic).
+            track_ids[key] = len([k for k in track_ids if k[0] == pid])
+            events.append({"name": "thread_name", "ph": "M", "pid": pid,
+                           "tid": track_ids[key], "ts": 0.0,
+                           "args": {"name": str(tid)}})
+        return track_ids[key]
+
+    for ev in tracer.events:
+        pid = ev["pid"]
+        if pid not in named_pids:
+            named_pids.add(pid)
+            events.append({"name": "process_name", "ph": "M", "pid": pid,
+                           "tid": 0, "ts": 0.0,
+                           "args": {"name": PROCESS_NAMES.get(pid, f"pid-{pid}")}})
+        out = dict(ev)
+        out["tid"] = resolve(pid, ev["tid"])
+        events.append(out)
+
+    # Close spans left open (deadlock, watchdog timeout, killed thread).
+    for (pid, tid), depth in sorted(tracer.open_spans().items(),
+                                    key=lambda kv: (kv[0][0], str(kv[0][1]))):
+        rtid = resolve(pid, tid)
+        for _ in range(depth):
+            events.append({"name": "(unclosed)", "ph": "E", "ts": max_ts,
+                           "pid": pid, "tid": rtid})
+    return events
+
+
+def write_chrome_trace(tracer: Tracer, path: str | os.PathLike) -> None:
+    """Write the tracer's events to *path* as Perfetto-loadable JSON."""
+    payload = {
+        "traceEvents": chrome_trace_events(tracer),
+        "displayTimeUnit": "ms",
+        "otherData": {"producer": "repro.obs",
+                      "time_unit": "simulated cycles (1 cycle == 1 us)"},
+    }
+    atomic_write_text(os.fspath(path), json.dumps(payload, indent=None,
+                                                  separators=(",", ":")))
+
+
+def write_metrics_jsonl(source: MetricsRegistry | list,
+                        path: str | os.PathLike) -> None:
+    """Write a registry's frames (or a frame list) to *path* as JSONL."""
+    frames = source.frames if isinstance(source, MetricsRegistry) else source
+    lines = [json.dumps(HEADER, separators=(",", ":"))]
+    for frame in frames:
+        lines.append(json.dumps(frame.to_dict(), separators=(",", ":")))
+    atomic_write_text(os.fspath(path), "\n".join(lines) + "\n")
+
+
+def load_metrics_jsonl(path: str | os.PathLike) -> list[MetricsFrame]:
+    """Read a metrics dump previously written by :func:`write_metrics_jsonl`."""
+    frames: list[MetricsFrame] = []
+    with open(os.fspath(path), "r", encoding="utf-8") as fh:
+        first = fh.readline()
+        if not first.strip():
+            raise ValueError(f"{path}: empty metrics file")
+        header = json.loads(first)
+        if "repro_metrics" not in header:
+            raise ValueError(f"{path}: not a repro metrics JSONL file")
+        for line in fh:
+            line = line.strip()
+            if line:
+                frames.append(MetricsFrame.from_dict(json.loads(line)))
+    return frames

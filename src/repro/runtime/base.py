@@ -22,6 +22,9 @@ from typing import Callable
 from repro.machine.config import MachineConfig
 from repro.machine.core import Chip
 from repro.machine.costs import WorkCosts
+from repro.obs import metrics as _obs_metrics
+from repro.obs.metrics import MetricsFrame
+from repro.obs.tracer import PID_ENGINE, PID_THREADS
 from repro.sim.engine import Barrier, Engine
 from repro.sim.stats import ChunkExec, LoopStats
 
@@ -211,6 +214,17 @@ class LoopContext:
         self.barrier = Barrier(self.engine, self.n_threads,
                                cost_fn=self.config.barrier_cost)
         self.procs: dict[int, object] = {}
+        self.label = ""
+        # Telemetry (repro.obs): both handles captured once per loop and
+        # null-checked per use, so uninstrumented runs pay nothing more.
+        self.trace = self.engine.trace
+        self._post_run: list[Callable] = []
+
+    def post_run(self, hook: Callable) -> None:
+        """Register *hook* to run after the event loop, before the loop's
+        stats are considered final (runtimes fold counter totals here so
+        the telemetry frame sees the complete accounting)."""
+        self._post_run.append(hook)
 
     def spawn_workers(self, body: Callable, prefix: str) -> None:
         """Spawn ``body(tid)`` for every thread, then arm fault injection.
@@ -219,8 +233,14 @@ class LoopContext:
         timeout diagnostics identify the stuck thread.  Kill events are
         armed after all workers exist so every victim is addressable.
         """
+        self.label = prefix
+        if self.trace is not None:
+            self.trace.begin(f"loop:{prefix}", PID_ENGINE, 0, 0.0,
+                             threads=self.n_threads, items=len(self.work))
         for tid in range(self.n_threads):
-            self.procs[tid] = self.engine.spawn(body(tid), name=f"{prefix}-w{tid}")
+            self.procs[tid] = self.engine.spawn(body(tid),
+                                                name=f"{prefix}-w{tid}",
+                                                tid=tid)
         if self.faults is not None:
             self.faults.begin_loop(self.engine, self.barrier, self.procs)
 
@@ -249,6 +269,11 @@ class LoopContext:
             hang = self.faults.hang_delay(tid, self.engine.now)
             if hang > 0:
                 self.stats.hang_cycles += hang
+                self.stats.hangs.append((tid, self.engine.now,
+                                         self.engine.now + hang))
+                if self.trace is not None:
+                    self.trace.span("hang", PID_THREADS, tid, self.engine.now,
+                                    self.engine.now + hang)
                 yield hang
         compute, stall, volume = self.work.range_cost(lo, hi)
         core = self.chip.core_of(tid)
@@ -259,6 +284,25 @@ class LoopContext:
         core.finish()
         self.stats.busy_cycles += duration
         self.stats.chunks.append(ChunkExec(lo, hi, tid, start, self.engine.now))
+        if self.trace is not None:
+            self.trace.span("chunk", PID_THREADS, tid, start, self.engine.now,
+                            lo=lo, hi=hi)
+
+    def init_tls(self, tid: int, tls_entries: int, lazy: bool):
+        """Generator fragment: pay a thread's scratch-state first touch.
+
+        Accounts the time in ``LoopStats.tls_cycles`` (a component of the
+        telemetry frame's cycle breakdown) and traces it as a span; the
+        ``tls_inits`` *count* stays runtime-specific (eager runtimes set
+        it per region, lazy runtimes per first touch).
+        """
+        cycles = self.tls_first_touch_cycles(tls_entries, lazy)
+        if cycles:
+            self.stats.tls_cycles += cycles
+            if self.trace is not None:
+                self.trace.span("tls-init", PID_THREADS, tid, self.engine.now,
+                                self.engine.now + cycles, lazy=lazy)
+            yield cycles
 
     def tls_first_touch_cycles(self, tls_entries: int, lazy: bool) -> float:
         """Cycles to materialise a thread's scratch state.
@@ -273,10 +317,49 @@ class LoopContext:
         return cycles
 
     def finish(self, fork: bool) -> LoopStats:
-        """Run the event loop to completion and finalise the stats."""
+        """Run the event loop to completion and finalise the stats.
+
+        After the engine drains, registered :meth:`post_run` hooks fold
+        runtime-held counters into the stats; only then is the telemetry
+        frame cut, so exported totals always match the returned
+        :class:`~repro.sim.stats.LoopStats`.
+        """
         end = self.engine.run()
         self.stats.span = end + (self.config.fork_cycles if fork else 0.0)
         if self.faults is not None:
             self.stats.killed_threads = self.faults.loop_kills
             self.faults.end_loop(self.stats.span)
+        for hook in self._post_run:
+            hook()
+        if self.trace is not None:
+            self.trace.end(f"loop:{self.label}", PID_ENGINE, 0, end)
+            self.trace.advance(self.stats.span)
+        self._emit_frame()
         return self.stats
+
+    def _emit_frame(self) -> None:
+        """Snapshot this loop into the active metrics registry (if any)."""
+        registry = _obs_metrics.active()
+        if registry is None:
+            return
+        stats, ch = self.stats, self.chip.channel
+        bank_budget = stats.span * ch.n_banks
+        channel = {
+            "transfers": ch.transfers,
+            "lines": ch.lines,
+            "wait_cycles": ch.wait_cycles,
+            "busy_cycles": ch.busy_cycles,
+            "n_banks": ch.n_banks,
+            "saturation": ch.busy_cycles / bank_budget if bank_budget > 0
+            else 0.0,
+        }
+        registry.counter("channel.transfers").inc(ch.transfers)
+        registry.counter("channel.lines").inc(ch.lines)
+        registry.counter("channel.busy_cycles").inc(ch.busy_cycles)
+        registry.counter("channel.wait_cycles").inc(ch.wait_cycles)
+        frame = MetricsFrame.from_stats(
+            stats, n_threads=self.n_threads, label=self.label,
+            channel=channel, counters=registry.loop_delta())
+        frame.index = len(registry.frames)
+        frame.cell = registry.current_cell()
+        registry.add_frame(frame)

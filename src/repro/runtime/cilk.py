@@ -45,8 +45,10 @@ def cilk_parallel_for(
         tls_entries=tls_entries,
         lazy_tls=tls_mode is TlsMode.HOLDER,
         seed=seed,
+        prefix="cilk",
     )
-    stats = ctx.finish(fork)
     if tls_entries and tls_mode is TlsMode.WORKER_ID:
-        stats.tls_inits = n_threads
-    return stats
+        def record_tls():
+            ctx.stats.tls_inits = n_threads
+        ctx.post_run(record_tls)
+    return ctx.finish(fork)

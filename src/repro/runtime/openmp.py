@@ -11,12 +11,17 @@ scheduling (§II-A).
 
 Per-thread scratch state (``localFC``) is initialised at region entry by
 each thread (the paper's worker-ID indexing, §IV-A1).
+
+Counter totals (atomic ops, waits, scheduler cycles) are folded into the
+:class:`~repro.sim.stats.LoopStats` through :meth:`LoopContext.post_run`
+hooks, so they are already in place when the telemetry frame is cut.
 """
 
 from __future__ import annotations
 
 from repro.machine.config import MachineConfig
 from repro.machine.costs import WorkCosts
+from repro.obs import metrics as _obs_metrics
 from repro.runtime.base import LoopContext, Schedule
 from repro.sim.resources import AtomicVar
 from repro.sim.stats import LoopStats
@@ -40,22 +45,37 @@ def openmp_parallel_for(
     ctx = LoopContext(config, n_threads, work, faults=faults)
 
     if schedule is Schedule.STATIC:
-        counter = None
         _spawn_static(ctx, chunk, tls_entries)
     elif schedule is Schedule.DYNAMIC:
-        counter = _spawn_shared_counter(ctx, chunk, tls_entries, guided=False)
+        _spawn_shared_counter(ctx, chunk, tls_entries, guided=False)
     elif schedule is Schedule.GUIDED:
-        counter = _spawn_shared_counter(ctx, chunk, tls_entries, guided=True)
+        _spawn_shared_counter(ctx, chunk, tls_entries, guided=True)
     else:  # pragma: no cover - enum is closed
         raise ValueError(f"unknown schedule {schedule!r}")
 
-    stats = ctx.finish(fork)
-    if counter is not None:
+    def record_tls():
+        ctx.stats.tls_inits = n_threads if tls_entries else 0
+
+    ctx.post_run(record_tls)
+    return ctx.finish(fork)
+
+
+def _fold_counter(ctx: LoopContext, counter: AtomicVar) -> None:
+    """Register the fold of the shared chunk counter's totals."""
+
+    def fold():
+        stats = ctx.stats
         stats.atomic_operations += counter.operations
         stats.atomic_wait_cycles += counter.wait_cycles
         stats.sched_cycles += counter.operations * counter.latency
-    stats.tls_inits = n_threads if tls_entries else 0
-    return stats
+        registry = _obs_metrics.active()
+        if registry is not None:
+            registry.counter("atomic.ops", var=counter.label).inc(
+                counter.operations)
+            registry.counter("atomic.wait_cycles", var=counter.label).inc(
+                counter.wait_cycles)
+
+    ctx.post_run(fold)
 
 
 def _spawn_static(ctx: LoopContext, chunk: int, tls_entries: int) -> None:
@@ -64,9 +84,7 @@ def _spawn_static(ctx: LoopContext, chunk: int, tls_entries: int) -> None:
     starts = list(range(0, n, chunk))
 
     def body(tid: int):
-        init = ctx.tls_first_touch_cycles(tls_entries, lazy=False)
-        if init:
-            yield init
+        yield from ctx.init_tls(tid, tls_entries, lazy=False)
         for s in starts[tid::t]:
             # A killed thread dies here: its remaining pre-dealt chunks
             # are lost — static scheduling cannot redistribute them.
@@ -86,14 +104,12 @@ def _spawn_shared_counter(ctx: LoopContext, chunk: int, tls_entries: int,
     The engine delivers RMWs in simulated-time order, so advancing a plain
     Python cursor inside each granted fetch reproduces FIFO semantics.
     """
-    counter = AtomicVar(ctx.config.atomic_cycles)
+    counter = AtomicVar(ctx.config.atomic_cycles, label="omp-chunk-counter")
     cursor = [0]
     n, t = len(ctx.work), ctx.n_threads
 
     def body(tid: int):
-        init = ctx.tls_first_touch_cycles(tls_entries, lazy=False)
-        if init:
-            yield init
+        yield from ctx.init_tls(tid, tls_entries, lazy=False)
         while True:
             # A killed thread dies before fetching, so no granted chunk
             # is ever lost — survivors drain the shared counter.
@@ -110,4 +126,5 @@ def _spawn_shared_counter(ctx: LoopContext, chunk: int, tls_entries: int,
         yield from ctx.join(tid)
 
     ctx.spawn_workers(body, "omp-guided" if guided else "omp-dynamic")
+    _fold_counter(ctx, counter)
     return counter

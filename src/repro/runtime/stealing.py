@@ -18,6 +18,8 @@ from collections import deque as _deque
 
 import numpy as np
 
+from repro.obs import metrics as _obs_metrics
+from repro.obs.tracer import PID_THREADS
 from repro.runtime.base import LoopContext
 from repro.sim.engine import Condition
 
@@ -35,6 +37,7 @@ def run_work_stealing(
     initial_ranges: list[tuple[int, int]] | None = None,
     deal_round_robin: bool = False,
     seed: int = 0,
+    prefix: str = "steal",
 ) -> None:
     """Spawn the worker processes for one stolen-loop execution.
 
@@ -55,6 +58,9 @@ def run_work_stealing(
         Starting distribution: by default the whole range sits on worker 0
         (stealing spreads it); the affinity partitioner pre-deals ranges
         round-robin.
+    prefix:
+        Worker-name / loop-label prefix, so traces and diagnostics name
+        the runtime that owns the loop (``cilk``, ``tbb-auto``, ...).
     """
     if split_threshold < 1:
         raise ValueError(f"split_threshold must be >= 1, got {split_threshold}")
@@ -82,11 +88,14 @@ def run_work_stealing(
         fired, signal[0] = signal[0], Condition(ctx.engine)
         fired.fire()
 
+    # Telemetry (repro.obs): captured once per loop, null-checked per use.
+    registry = _obs_metrics.active()
+
     def body(wid: int):
         my = deques[wid]
         tls_done = False
         if tls_entries and not lazy_tls:
-            yield ctx.tls_first_touch_cycles(tls_entries, lazy=False)
+            yield from ctx.init_tls(wid, tls_entries, lazy=False)
             tls_done = True
         while True:
             # A killed worker dies between chunks, before popping: its
@@ -106,7 +115,7 @@ def run_work_stealing(
                     yield task_cycles
                     hi = mid
                 if tls_entries and lazy_tls and not tls_done:
-                    yield ctx.tls_first_touch_cycles(tls_entries, lazy=True)
+                    yield from ctx.init_tls(wid, tls_entries, lazy=True)
                     ctx.stats.tls_inits += 1
                     tls_done = True
                 if per_chunk_cycles:
@@ -129,13 +138,22 @@ def run_work_stealing(
                     was_empty = not my
                     my.append(deques[victim].popleft())
                     ctx.stats.steals += 1
+                    if registry is not None:
+                        registry.counter("steals", victim=str(victim)).inc(1)
+                    if ctx.trace is not None:
+                        ctx.trace.instant("steal", PID_THREADS, wid,
+                                          ctx.engine.now, victim=victim)
                     if was_empty and len(my) > 1:
                         notify()
                 else:
                     ctx.stats.failed_steals += 1
+                    if registry is not None:
+                        registry.counter("steals.failed").inc(1)
             else:
                 ctx.stats.failed_steals += 1
+                if registry is not None:
+                    registry.counter("steals.failed").inc(1)
                 yield gen
         yield from ctx.join(wid)
 
-    ctx.spawn_workers(body, "steal")
+    ctx.spawn_workers(body, prefix)

@@ -53,14 +53,17 @@ def tbb_parallel_for(
     ctx = LoopContext(config, n_threads, work, faults=faults)
     task_cycles = config.spawn_cycles * TASK_OVERHEAD_FACTOR
 
+    prefix = f"tbb-{partitioner.value}"
     if partitioner is Partitioner.SIMPLE:
         run_work_stealing(ctx, split_threshold=chunk, task_cycles=task_cycles,
-                          tls_entries=tls_entries, lazy_tls=True, seed=seed)
+                          tls_entries=tls_entries, lazy_tls=True, seed=seed,
+                          prefix=prefix)
     elif partitioner is Partitioner.AUTO:
         threshold = max(chunk, -(-n // (4 * n_threads)) if n else chunk)
         run_work_stealing(ctx, split_threshold=threshold,
                           task_cycles=task_cycles,
-                          tls_entries=tls_entries, lazy_tls=True, seed=seed)
+                          tls_entries=tls_entries, lazy_tls=True, seed=seed,
+                          prefix=prefix)
     elif partitioner is Partitioner.AFFINITY:
         threshold = max(chunk, -(-n // (4 * n_threads)) if n else chunk)
         ranges = [(lo, min(lo + threshold, n)) for lo in range(0, n, threshold)]
@@ -69,7 +72,7 @@ def tbb_parallel_for(
                           per_chunk_cycles=MAILBOX_FACTOR * config.sched_chunk_cycles,
                           tls_entries=tls_entries, lazy_tls=True,
                           initial_ranges=ranges, deal_round_robin=True,
-                          seed=seed)
+                          seed=seed, prefix=prefix)
     else:  # pragma: no cover - enum is closed
         raise ValueError(f"unknown partitioner {partitioner!r}")
 

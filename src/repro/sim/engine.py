@@ -35,6 +35,9 @@ import heapq
 from itertools import count
 from typing import Callable, Generator
 
+from repro.obs import tracer as _obs_tracer
+from repro.obs.tracer import PID_ENGINE, PID_THREADS
+
 __all__ = ["Engine", "Barrier", "Condition", "Process",
            "SimulationError", "SimulationTimeout", "DeadlockError",
            "ThreadKilled"]
@@ -110,6 +113,8 @@ class Engine:
         self.max_events = max_events
         self.max_time = max_time
         self.events_processed = 0
+        # Telemetry (repro.obs): captured once here, null-checked per use.
+        self.trace = _obs_tracer.active()
 
     @property
     def now(self) -> float:
@@ -122,9 +127,14 @@ class Engine:
             raise ValueError(f"negative delay {delay}")
         heapq.heappush(self._heap, (self._now + delay, next(self._seq), fn, args))
 
-    def spawn(self, gen: Generator, name: str | None = None) -> "Process":
-        """Register a generator as a simulated process, starting now."""
-        return Process(self, gen, name=name)
+    def spawn(self, gen: Generator, name: str | None = None,
+              tid: int | None = None) -> "Process":
+        """Register a generator as a simulated process, starting now.
+
+        ``tid`` is the simulated software-thread id — used by the tracer
+        to place the process' events on its thread track.
+        """
+        return Process(self, gen, name=name, tid=tid)
 
     def blocked_processes(self) -> list[str]:
         """Descriptions of every live process blocked on a primitive."""
@@ -139,6 +149,9 @@ class Engine:
     def _timeout(self, kind: str, budget) -> SimulationTimeout:
         blocked = self.blocked_processes()
         detail = ("; blocked: " + ", ".join(blocked)) if blocked else ""
+        if self.trace is not None:
+            self.trace.instant("watchdog-timeout", PID_ENGINE, 0, self._now,
+                               kind=kind, blocked=list(blocked))
         return SimulationTimeout(
             f"simulation exceeded its {kind} budget ({budget}) at "
             f"t={self._now:.1f} after {self.events_processed} events{detail}",
@@ -170,6 +183,9 @@ class Engine:
         if self._active:
             blocked = self.blocked_processes()
             lines = "\n  ".join(blocked) if blocked else "(unnamed)"
+            if self.trace is not None:
+                self.trace.instant("deadlock", PID_ENGINE, 0, self._now,
+                                   blocked=list(blocked))
             raise DeadlockError(
                 f"deadlock: {self._active} process(es) blocked with no "
                 f"pending events at t={self._now:.1f}:\n  {lines}",
@@ -180,10 +196,12 @@ class Engine:
 class Process:
     """A generator-backed simulated thread (see module docstring)."""
 
-    def __init__(self, engine: Engine, gen: Generator, name: str | None = None):
+    def __init__(self, engine: Engine, gen: Generator, name: str | None = None,
+                 tid: int | None = None):
         self.engine = engine
         self.gen = gen
         self.name = name if name is not None else f"proc-{len(engine._processes)}"
+        self.tid = tid  # simulated software-thread id (tracer track), or None
         self.finished = False
         self.killed = False
         self.waiting_on = None  # Barrier/Condition currently blocking us
@@ -196,6 +214,9 @@ class Process:
         self.killed = killed
         self.waiting_on = None
         self.engine._active -= 1
+        trace = self.engine.trace
+        if trace is not None and self.tid is not None and killed:
+            trace.instant("killed", PID_THREADS, self.tid, self.engine.now)
 
     def _step(self) -> None:
         self.waiting_on = None
@@ -243,6 +264,9 @@ class Barrier:
     def _block(self, proc: Process) -> None:
         proc.waiting_on = self
         self._waiting.append(proc)
+        trace = self.engine.trace
+        if trace is not None and proc.tid is not None:
+            trace.begin("barrier-wait", PID_THREADS, proc.tid, self.engine.now)
         self._maybe_release()
 
     def drop_party(self) -> None:
@@ -257,7 +281,11 @@ class Barrier:
             waiting, self._waiting = self._waiting, []
             self.trips += 1
             release_delay = self.cost_fn(max(1, self.parties))
+            trace = self.engine.trace
             for p in waiting:
+                if trace is not None and p.tid is not None:
+                    trace.end("barrier-wait", PID_THREADS, p.tid,
+                              self.engine.now + release_delay)
                 self.engine.schedule(release_delay, p._step)
 
 
@@ -282,10 +310,17 @@ class Condition:
         else:
             proc.waiting_on = self
             self._waiting.append(proc)
+            trace = self.engine.trace
+            if trace is not None and proc.tid is not None:
+                trace.begin("cond-wait", PID_THREADS, proc.tid,
+                            self.engine.now)
 
     def fire(self) -> None:
         """Wake all current and future waiters."""
         self.fired = True
         waiting, self._waiting = self._waiting, []
+        trace = self.engine.trace
         for p in waiting:
+            if trace is not None and p.tid is not None:
+                trace.end("cond-wait", PID_THREADS, p.tid, self.engine.now)
             self.engine.schedule(0.0, p._step)

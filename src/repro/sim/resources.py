@@ -11,9 +11,18 @@ This is how the simulation prices the phenomena the paper discusses:
 atomic fetch-and-add contention on shared queue/loop counters (§IV-A,
 §IV-C), per-vertex lock costs in the SNAP BFS (§IV-C), and DRAM bandwidth
 saturation (§V-B).
+
+Telemetry (:mod:`repro.obs`): every resource takes a ``label`` and, when
+a tracer is active at construction time, records each reservation as a
+span on its own resource track (service interval, with the queue wait in
+the span args).  With no tracer installed the per-operation cost is a
+single ``is not None`` test.
 """
 
 from __future__ import annotations
+
+from repro.obs import tracer as _obs_tracer
+from repro.obs.tracer import PID_RESOURCES
 
 __all__ = ["AtomicVar", "TicketLock", "MemoryChannel"]
 
@@ -26,13 +35,15 @@ class AtomicVar:
     variable for ``latency`` cycles, FIFO.
     """
 
-    def __init__(self, latency: float):
+    def __init__(self, latency: float, label: str = "atomic"):
         if latency < 0:
             raise ValueError(f"latency must be >= 0, got {latency}")
         self.latency = latency
+        self.label = label
         self._next_free = 0.0
         self.operations = 0
         self.wait_cycles = 0.0
+        self._trace = _obs_tracer.active()
 
     def rmw(self, now: float) -> float:
         """Perform one RMW issued at *now*; returns its completion time."""
@@ -41,6 +52,9 @@ class AtomicVar:
         done = start + self.latency
         self._next_free = done
         self.operations += 1
+        if self._trace is not None:
+            self._trace.span("rmw", PID_RESOURCES, self.label, start, done,
+                             wait=start - now)
         return done
 
 
@@ -51,13 +65,15 @@ class TicketLock:
     lock is occupied for ``latency + hold``.
     """
 
-    def __init__(self, latency: float):
+    def __init__(self, latency: float, label: str = "lock"):
         if latency < 0:
             raise ValueError(f"latency must be >= 0, got {latency}")
         self.latency = latency
+        self.label = label
         self._next_free = 0.0
         self.acquisitions = 0
         self.wait_cycles = 0.0
+        self._trace = _obs_tracer.active()
 
     def acquire(self, now: float, hold: float = 0.0) -> float:
         """Acquire at *now*, hold for *hold* cycles; returns release time."""
@@ -68,6 +84,9 @@ class TicketLock:
         done = start + self.latency + hold
         self._next_free = done
         self.acquisitions += 1
+        if self._trace is not None:
+            self._trace.span("lock", PID_RESOURCES, self.label, start, done,
+                             wait=start - now)
         return done
 
 
@@ -80,18 +99,26 @@ class MemoryChannel:
     memory subsystem "scales well" — coloring stayed linear to 121
     threads); an ablation bench shrinks the bank count to show what
     saturation would have looked like.
+
+    ``busy_cycles`` accumulates total bank-service time, from which the
+    metrics layer derives the channel's saturation fraction for a loop
+    (``busy_cycles / (span * n_banks)``).
     """
 
-    def __init__(self, banks: int, cycles_per_line: float):
+    def __init__(self, banks: int, cycles_per_line: float,
+                 label: str = "dram"):
         if banks < 1:
             raise ValueError(f"banks must be >= 1, got {banks}")
         if cycles_per_line < 0:
             raise ValueError(f"cycles_per_line must be >= 0, got {cycles_per_line}")
         self._banks = [0.0] * banks
         self.cycles_per_line = cycles_per_line
+        self.label = label
         self.transfers = 0
         self.lines = 0.0
         self.wait_cycles = 0.0
+        self.busy_cycles = 0.0
+        self._trace = _obs_tracer.active()
 
     @property
     def n_banks(self) -> int:
@@ -119,4 +146,10 @@ class MemoryChannel:
         self._banks[i] = done
         self.transfers += 1
         self.lines += volume
+        self.busy_cycles += done - start
+        if self._trace is not None:
+            # One track per bank: service intervals on a bank are disjoint,
+            # so the B/E spans nest trivially.
+            self._trace.span("xfer", PID_RESOURCES, f"{self.label}-bank{i}",
+                             start, done, lines=volume, wait=start - now)
         return done

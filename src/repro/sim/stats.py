@@ -42,8 +42,10 @@ class LoopStats:
     failed_steals: int = 0
     tasks_spawned: int = 0
     tls_inits: int = 0
+    tls_cycles: float = 0.0           # thread-local scratch init time
     hang_cycles: float = 0.0          # SMT-context freeze time (fault layer)
     killed_threads: list[int] = field(default_factory=list)
+    hangs: list[tuple] = field(default_factory=list)  # (thread, start, end)
     chunks: list[ChunkExec] = field(default_factory=list)
 
     @property

@@ -14,44 +14,80 @@ from repro.sim.stats import LoopStats
 __all__ = ["gantt", "thread_utilization", "breakdown"]
 
 
+def _effective_span(stats: LoopStats) -> float:
+    """The loop span, falling back to the last chunk end when unset.
+
+    Partial schedules (a loop aborted by a fault, or stats inspected
+    before ``finish``) have ``span == 0`` but real chunks; diagnostics
+    should still work on them.
+    """
+    if stats.span > 0:
+        return stats.span
+    if stats.chunks:
+        return max(c.end for c in stats.chunks)
+    return 0.0
+
+
 def gantt(stats: LoopStats, width: int = 72, max_threads: int = 32) -> str:
     """ASCII Gantt chart of the chunk schedule.
 
-    One row per thread; ``#`` marks executing time, ``.`` idle.  Rows
-    beyond *max_threads* are elided with a summary line.
+    One row per thread; ``#`` marks executing time, ``~`` a hung SMT
+    context (fault layer freeze window), ``.`` idle.  Threads killed by
+    fault injection are marked ``x`` on their row label.  Rows beyond
+    *max_threads* are elided with a summary line.
     """
     if not stats.chunks:
         return "(no chunks executed)"
-    span = stats.span if stats.span > 0 else max(c.end for c in stats.chunks)
-    threads = sorted({c.thread for c in stats.chunks})
-    lines = [f"span = {span:.0f} cycles, {len(stats.chunks)} chunks, "
-             f"{len(threads)} active threads"]
+    span = _effective_span(stats)
+    killed = set(stats.killed_threads)
+    threads = sorted({c.thread for c in stats.chunks}
+                     | {h[0] for h in stats.hangs} | killed)
+    header = (f"span = {span:.0f} cycles, {len(stats.chunks)} chunks, "
+              f"{len(threads)} active threads")
+    if stats.hangs or killed:
+        header += (f" ({len(stats.hangs)} hangs, "
+                   f"{len(killed)} killed)")
+    lines = [header]
     scale = width / span
+
+    def paint(row, start, end):
+        lo = int(start * scale)
+        hi = max(lo + 1, int(np.ceil(end * scale)))
+        row[lo:min(hi, width)] = True
 
     shown = threads[:max_threads]
     for t in shown:
-        row = np.zeros(width, dtype=bool)
+        busy = np.zeros(width, dtype=bool)
+        hung = np.zeros(width, dtype=bool)
         for c in stats.chunks:
-            if c.thread != t:
-                continue
-            lo = int(c.start * scale)
-            hi = max(lo + 1, int(np.ceil(c.end * scale)))
-            row[lo:min(hi, width)] = True
-        bar = "".join("#" if b else "." for b in row)
-        lines.append(f"t{t:3d} |{bar}|")
+            if c.thread == t:
+                paint(busy, c.start, c.end)
+        for thread, start, end in stats.hangs:
+            if thread == t:
+                paint(hung, start, end)
+        hung &= ~busy  # execution wins where a bucket holds both
+        bar = "".join("#" if b else ("~" if h else ".")
+                      for b, h in zip(busy, hung))
+        mark = "x" if t in killed else " "
+        lines.append(f"t{t:3d}{mark}|{bar}|")
     if len(threads) > max_threads:
         lines.append(f"... {len(threads) - max_threads} more threads elided")
     return "\n".join(lines)
 
 
 def thread_utilization(stats: LoopStats) -> dict[int, float]:
-    """Busy fraction of the span, per thread that executed anything."""
-    if stats.span <= 0:
+    """Busy fraction of the span, per thread that executed anything.
+
+    Falls back to the last chunk end when ``span`` is unset (see
+    :func:`gantt`); only a truly empty schedule yields ``{}``.
+    """
+    span = _effective_span(stats)
+    if span <= 0:
         return {}
     busy: dict[int, float] = {}
     for c in stats.chunks:
         busy[c.thread] = busy.get(c.thread, 0.0) + c.duration
-    return {t: b / stats.span for t, b in sorted(busy.items())}
+    return {t: b / span for t, b in sorted(busy.items())}
 
 
 def breakdown(stats: LoopStats, n_threads: int) -> str:
@@ -68,4 +104,9 @@ def breakdown(stats: LoopStats, n_threads: int) -> str:
     ]
     if stats.tls_inits:
         lines.append(f"{stats.tls_inits} thread-local initialisations")
+    if stats.hang_cycles or stats.killed_threads:
+        lines.append(
+            f"faults: {stats.hang_cycles:.0f} hung cycles over "
+            f"{len(stats.hangs)} windows, "
+            f"{len(stats.killed_threads)} threads killed")
     return "\n".join(lines)

@@ -1,0 +1,94 @@
+"""The ``profile`` CLI: artifacts, reconciliation, and figure flags."""
+
+import json
+
+import pytest
+
+from repro.experiments.profile import reconciliation, run_profile
+from repro.obs.export import load_metrics_jsonl
+from repro.obs.metrics import MetricsFrame
+
+
+class TestRunProfile:
+    @pytest.fixture(scope="class")
+    def artifacts(self, tmp_path_factory):
+        tmp = tmp_path_factory.mktemp("profile")
+        trace, metrics = tmp / "trace.json", tmp / "metrics.jsonl"
+        import io
+        from contextlib import redirect_stdout
+        buf = io.StringIO()
+        with redirect_stdout(buf):
+            code = run_profile(kernel="coloring", graph="pwtk",
+                               variant="OpenMP-dynamic", threads=11,
+                               trace_path=trace, metrics_path=metrics)
+        return code, trace, metrics, buf.getvalue()
+
+    def test_exit_code(self, artifacts):
+        assert artifacts[0] == 0
+
+    def test_trace_loadable(self, artifacts):
+        data = json.loads(artifacts[1].read_text())
+        events = data["traceEvents"]
+        assert events
+        assert all(k in ev for ev in events
+                   for k in ("name", "ph", "ts", "pid", "tid"))
+        assert sum(e["ph"] == "B" for e in events) \
+            == sum(e["ph"] == "E" for e in events)
+
+    def test_metrics_reconcile(self, artifacts):
+        frames = load_metrics_jsonl(artifacts[2])
+        assert frames
+        worst, summary = reconciliation(frames)
+        assert worst < 0.01
+        assert "reconciliation" in summary
+
+    def test_output_mentions_artifacts(self, artifacts):
+        out = artifacts[3]
+        assert "Perfetto" in out
+        assert "longest loop" in out
+        assert "reconciliation" in out
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(ValueError, match="unknown kernel"):
+            run_profile(kernel="sssp", graph="pwtk")
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(ValueError, match="unknown coloring variant"):
+            run_profile(kernel="coloring", graph="pwtk", variant="MPI")
+
+
+class TestReconciliation:
+    def test_flags_incomplete_breakdown(self):
+        bad = MetricsFrame(n_threads=2, span=100.0, busy_cycles=100.0)
+        worst, _ = reconciliation([bad])  # 100 accounted of 200
+        assert worst == pytest.approx(0.5)
+
+    def test_empty_frames_ok(self):
+        worst, _ = reconciliation([])
+        assert worst == 0.0
+
+
+class TestCliIntegration:
+    def test_profile_subcommand(self, tmp_path, capsys):
+        from repro.experiments.cli import main
+        trace, metrics = tmp_path / "t.json", tmp_path / "m.jsonl"
+        assert main(["profile", "--graph", "pwtk",
+                     "--profile-threads", "5",
+                     "--trace", str(trace), "--metrics", str(metrics)]) == 0
+        assert trace.exists() and metrics.exists()
+        capsys.readouterr()
+
+    def test_figure_flags_write_artifacts(self, tmp_path, capsys,
+                                          monkeypatch):
+        from repro.experiments.cli import main
+        monkeypatch.setenv("REPRO_GRAPHS", "pwtk")
+        monkeypatch.setenv("REPRO_THREADS", "5")
+        trace, metrics = tmp_path / "t.json", tmp_path / "m.jsonl"
+        assert main(["fig2", "--trace", str(trace),
+                     "--metrics", str(metrics)]) == 0
+        capsys.readouterr()
+        frames = load_metrics_jsonl(metrics)
+        assert frames
+        assert all(f.cell.get("graph") == "pwtk" for f in frames)
+        data = json.loads(trace.read_text())
+        assert data["traceEvents"]

@@ -1,0 +1,101 @@
+"""Cross-run regression diffs over metrics frames and files."""
+
+import pytest
+
+from repro.obs.diff import (DEFAULT_THRESHOLD, diff_frames,
+                            diff_metrics_files)
+from repro.obs.export import write_metrics_jsonl
+from repro.obs.metrics import MetricsFrame
+
+
+def frame(span=100.0, busy=300.0, sched=50.0, idle=50.0, threads=4,
+          label="loop", cell=None):
+    return MetricsFrame(label=label, cell=cell or {"graph": "g"},
+                        n_threads=threads, span=span, busy_cycles=busy,
+                        sched_cycles=sched, idle_cycles=idle)
+
+
+class TestDiffFrames:
+    def test_identical_ok(self):
+        base = [frame(), frame(label="other")]
+        report = diff_frames(base, [frame(), frame(label="other")])
+        assert report.ok
+        assert not report.breaches
+
+    def test_drift_past_threshold_breaches(self):
+        report = diff_frames([frame(busy=300.0)], [frame(busy=400.0)])
+        assert not report.ok
+        (breach,) = report.breaches
+        assert breach.component == "busy_cycles"
+        assert breach.drift == pytest.approx(1 / 3)
+        assert breach.regressed
+
+    def test_drift_under_threshold_ok(self):
+        report = diff_frames([frame(busy=300.0)], [frame(busy=330.0)])
+        assert report.ok
+        assert any(r.drift > 0 for r in report.rows)
+
+    def test_small_component_uses_noise_floor(self):
+        # 1 -> 4 cycles is a 300% relative change, but the 40000-cycle
+        # budget puts the noise floor at 400, so the drift is tiny.
+        report = diff_frames([frame(span=10000.0, sched=1.0)],
+                             [frame(span=10000.0, sched=4.0)])
+        assert report.ok
+
+    def test_structural_mismatch_fails(self):
+        report = diff_frames([frame(cell={"graph": "a"})],
+                             [frame(cell={"graph": "b"})])
+        assert not report.ok
+        assert report.missing == ["graph=a loop=loop"]
+        assert report.added == ["graph=b loop=loop"]
+
+    def test_frames_grouped_by_cell_and_label(self):
+        base = [frame(busy=100.0), frame(busy=200.0)]  # same cell: summed
+        cur = [frame(busy=150.0), frame(busy=150.0)]
+        report = diff_frames(base, cur)
+        assert report.ok  # 300 == 300 after aggregation
+
+    def test_threshold_validated(self):
+        with pytest.raises(ValueError):
+            diff_frames([], [], threshold=0.0)
+
+    def test_default_threshold(self):
+        assert DEFAULT_THRESHOLD == 0.20
+
+    def test_format_mentions_verdict(self):
+        good = diff_frames([frame()], [frame()])
+        assert "OK" in good.format()
+        bad = diff_frames([frame(busy=300.0)], [frame(busy=500.0)])
+        out = bad.format()
+        assert "REGRESSION" in out and "busy_cycles" in out
+
+
+class TestDiffFiles:
+    def test_file_diff(self, tmp_path):
+        base_path, cur_path = tmp_path / "base.jsonl", tmp_path / "cur.jsonl"
+        write_metrics_jsonl([frame()], base_path)
+        write_metrics_jsonl([frame(busy=500.0)], cur_path)
+        report = diff_metrics_files(base_path, cur_path)
+        assert not report.ok
+
+    def test_cli_exit_codes(self, tmp_path, capsys):
+        from repro.experiments.cli import main
+        base_path, cur_path = tmp_path / "base.jsonl", tmp_path / "cur.jsonl"
+        write_metrics_jsonl([frame()], base_path)
+        write_metrics_jsonl([frame()], cur_path)
+        assert main(["diff-metrics", str(base_path), str(cur_path)]) == 0
+        write_metrics_jsonl([frame(busy=500.0)], cur_path)
+        assert main(["diff-metrics", str(base_path), str(cur_path)]) == 1
+        assert main(["diff-metrics", str(base_path)]) == 2
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out
+
+    def test_cli_threshold_flag(self, tmp_path, capsys):
+        from repro.experiments.cli import main
+        base_path, cur_path = tmp_path / "base.jsonl", tmp_path / "cur.jsonl"
+        write_metrics_jsonl([frame(busy=300.0)], base_path)
+        write_metrics_jsonl([frame(busy=330.0)], cur_path)  # +10%
+        assert main(["diff-metrics", str(base_path), str(cur_path)]) == 0
+        assert main(["diff-metrics", str(base_path), str(cur_path),
+                     "--threshold", "0.05"]) == 1
+        capsys.readouterr()

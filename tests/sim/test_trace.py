@@ -32,6 +32,37 @@ class TestGantt:
         out = gantt(stats, max_threads=8)
         assert "more threads elided" in out
 
+    def test_span_falls_back_to_last_chunk(self):
+        stats = LoopStats()  # span unset: partial/aborted schedule
+        stats.chunks.append(ChunkExec(0, 1, 0, 0.0, 40.0))
+        out = gantt(stats)
+        assert "span = 40" in out and "#" in out
+
+    def test_hang_windows_rendered(self):
+        stats = LoopStats(span=100.0, hang_cycles=50.0)
+        stats.chunks.append(ChunkExec(0, 1, 0, 0.0, 100.0))
+        stats.chunks.append(ChunkExec(1, 2, 1, 50.0, 100.0))
+        stats.hangs.append((1, 0.0, 50.0))
+        out = gantt(stats)
+        row = [ln for ln in out.splitlines() if ln.startswith("t  1")][0]
+        assert "~" in row and "#" in row
+        assert "1 hangs" in out
+
+    def test_killed_threads_marked(self):
+        stats = LoopStats(span=100.0, killed_threads=[1])
+        stats.chunks.append(ChunkExec(0, 1, 0, 0.0, 100.0))
+        stats.chunks.append(ChunkExec(1, 2, 1, 0.0, 30.0))
+        out = gantt(stats)
+        assert "t  1x|" in out
+        assert "t  0 |" in out
+        assert "1 killed" in out
+
+    def test_killed_thread_without_chunks_gets_row(self):
+        stats = LoopStats(span=100.0, killed_threads=[2])
+        stats.chunks.append(ChunkExec(0, 1, 0, 0.0, 100.0))
+        out = gantt(stats)
+        assert "t  2x|" in out
+
 
 class TestUtilization:
     def test_busy_fractions(self):
@@ -41,8 +72,16 @@ class TestUtilization:
         util = thread_utilization(stats)
         assert util == {0: 0.5, 1: 1.0}
 
-    def test_zero_span(self):
+    def test_no_chunks(self):
         assert thread_utilization(LoopStats()) == {}
+
+    def test_zero_span_falls_back_to_chunks(self):
+        """span unset but chunks exist: use the last chunk end, not {}."""
+        stats = LoopStats()
+        stats.chunks.append(ChunkExec(0, 1, 0, 0.0, 50.0))
+        stats.chunks.append(ChunkExec(1, 2, 1, 0.0, 100.0))
+        util = thread_utilization(stats)
+        assert util == {0: 0.5, 1: 1.0}
 
 
 class TestBreakdown:
@@ -50,3 +89,11 @@ class TestBreakdown:
         stats = real_stats(tiny_machine)
         out = breakdown(stats, 3)
         assert "span" in out and "busy" in out and "atomics" in out
+        assert "faults" not in out
+
+    def test_fault_summary(self):
+        stats = LoopStats(span=100.0, hang_cycles=40.0, killed_threads=[2])
+        stats.hangs.append((1, 0.0, 40.0))
+        out = breakdown(stats, 4)
+        assert "faults" in out
+        assert "1 windows" in out and "1 threads killed" in out
