@@ -33,7 +33,13 @@ from repro.kernels import (
 )
 from repro.models import bfs_model_speedup
 
-__version__ = "1.0.0"
+# Single source of truth is the package metadata (pyproject.toml); the
+# literal fallback covers PYTHONPATH=src runs without an installed dist.
+try:
+    from importlib.metadata import version as _dist_version
+    __version__ = _dist_version("repro")
+except Exception:  # PackageNotFoundError, or exotic import environments
+    __version__ = "1.0.0"
 
 __all__ = [
     "CSRGraph",

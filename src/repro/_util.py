@@ -1,14 +1,35 @@
 """Small shared helpers: seeded RNG construction, argument validation,
-and crash-safe file writes."""
+crash-safe file writes, and canonical hashing."""
 
 from __future__ import annotations
 
+import hashlib
+import json
 import os
 
 import numpy as np
 
 __all__ = ["rng_from_seed", "check_positive", "check_nonnegative",
-           "as_int_array", "atomic_write_text"]
+           "as_int_array", "atomic_write_text", "canonical_json",
+           "sha256_hex"]
+
+
+def canonical_json(obj) -> str:
+    """Canonical JSON text for *obj*: sorted keys, compact separators.
+
+    Two structurally equal dicts always render to the same bytes, which
+    is what makes content-addressed keys (campaign result store,
+    deterministic cell IDs) stable across processes and sessions.
+    Non-finite floats are rejected — a NaN in a spec would silently
+    produce a key nothing can ever look up again.
+    """
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"),
+                      allow_nan=False)
+
+
+def sha256_hex(text: str) -> str:
+    """Hex SHA-256 of *text* (UTF-8)."""
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
 
 def atomic_write_text(path: str | os.PathLike, text: str) -> None:

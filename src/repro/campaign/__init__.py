@@ -1,0 +1,28 @@
+"""repro.campaign — parallel sweep campaigns with a result cache.
+
+The scheduler + cache layer over the experiment harness:
+
+* :mod:`repro.campaign.spec` — declarative campaign grids with
+  deterministic cell IDs;
+* :mod:`repro.campaign.executor` — a fork-based process-pool executor
+  with retries, graceful Ctrl-C draining and progress/ETA;
+* :mod:`repro.campaign.store` — a content-addressed result store keyed
+  by canonical cell spec + code fingerprint;
+* :mod:`repro.campaign.runners` — the registry mapping experiment names
+  to picklable cell adapters;
+* :mod:`repro.campaign.cli` — ``repro campaign run|status|cache``.
+"""
+
+from repro.campaign.spec import CampaignSpec, CellSpec
+from repro.campaign.store import ResultStore, StoreStats, code_fingerprint
+from repro.campaign.executor import ExecutionReport, execute, default_jobs
+from repro.campaign.runners import run_cell, runner_names, known_variants
+from repro.campaign.cli import run_campaign, campaign_results_dict
+
+__all__ = [
+    "CampaignSpec", "CellSpec",
+    "ResultStore", "StoreStats", "code_fingerprint",
+    "ExecutionReport", "execute", "default_jobs",
+    "run_cell", "runner_names", "known_variants",
+    "run_campaign", "campaign_results_dict",
+]

@@ -1,0 +1,310 @@
+"""Parallel sweep executor: a process pool over independent cells.
+
+Every sweep cell — ``runner(key) -> cycles`` — is pure CPU on immutable
+inputs, so a ``fork``-based :mod:`multiprocessing` pool escapes the GIL
+and computes cells genuinely in parallel while keeping bitwise-identical
+results (each worker re-derives the same seeded simulation the serial
+path would).  The executor owns everything around the runner calls:
+
+* **store short-circuit** — keys whose canonical spec is already in the
+  content-addressed :class:`~repro.campaign.store.ResultStore` are
+  served as hits without touching the pool;
+* **bounded retries with NaN semantics** — a cell that keeps raising is
+  recorded as NaN with its error string, mirroring
+  :func:`repro.experiments.harness.run_panel`'s partial-result contract;
+* **graceful Ctrl-C** — the first SIGINT stops submissions, drains the
+  in-flight cells (workers ignore SIGINT) and returns a partial report
+  with ``interrupted=True``; a second SIGINT aborts hard;
+* **progress/ETA** — per-cell completion reporting on stderr (live
+  ``\\r`` line on a TTY, every ~10% otherwise);
+* **telemetry** — when a :mod:`repro.obs.metrics` registry is active,
+  ``campaign.cells{status=...}`` counters count hits, computed cells and
+  failures, and serial cells run inside ``registry.cell(...)`` scopes so
+  frames keep their sweep labels.
+
+Submission order is deterministic and results are keyed, not ordered, so
+``--jobs N`` output is bitwise identical to the serial run.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import signal
+import sys
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["ExecutionReport", "execute", "default_jobs"]
+
+#: Sentinel for "no more work" in the submission loop.
+_DONE = object()
+
+#: (runner, retries) inherited by forked pool workers.
+_WORKER: tuple | None = None
+
+
+def default_jobs() -> int:
+    """Worker count from ``REPRO_JOBS`` (default 1 = serial in-process).
+
+    ``0`` means "one worker per CPU"; anything that is not a
+    non-negative integer is rejected with a clear :class:`ValueError`.
+    """
+    env = os.environ.get("REPRO_JOBS")
+    if not env:
+        return 1
+    try:
+        jobs = int(env)
+    except ValueError:
+        raise ValueError(f"REPRO_JOBS={env!r} is not an integer") from None
+    if jobs < 0:
+        raise ValueError(f"REPRO_JOBS must be >= 0, got {jobs}")
+    return jobs or (os.cpu_count() or 1)
+
+
+@dataclass
+class ExecutionReport:
+    """Outcome of one :func:`execute` call."""
+
+    values: dict = field(default_factory=dict)   # key -> cycles (NaN = failed)
+    errors: dict = field(default_factory=dict)   # key -> error string
+    hits: int = 0
+    computed: int = 0
+    failed: int = 0
+    elapsed: float = 0.0
+    interrupted: bool = False
+
+    @property
+    def total(self) -> int:
+        return self.hits + self.computed + self.failed
+
+    @property
+    def hit_rate(self) -> float:
+        """Store hits over completed cells (0.0 when nothing ran)."""
+        return self.hits / self.total if self.total else 0.0
+
+
+class _Progress:
+    """Per-cell progress/ETA line on stderr (quiet when disabled)."""
+
+    def __init__(self, total: int, desc: str, enabled: bool):
+        self.total = total
+        self.desc = desc
+        self.enabled = enabled and total > 0
+        self.stream = sys.stderr
+        self.tty = self.enabled and self.stream.isatty()
+        self.step = max(1, total // 10)
+        self.t0 = time.time()
+        self._last_done = -1
+
+    def update(self, report: ExecutionReport, final: bool = False) -> None:
+        if not self.enabled:
+            return
+        done = report.total
+        if not self.tty:
+            if final and done == self._last_done:
+                return
+            if not final and done % self.step:
+                return
+            self._last_done = done
+        elapsed = time.time() - self.t0
+        rate = report.computed / elapsed if elapsed > 0 else 0.0
+        remaining = self.total - done
+        eta = f"{remaining / rate:.0f}s" if rate > 0 and remaining else "-"
+        line = (f"[campaign] {done}/{self.total} {self.desc} | "
+                f"{report.hits} hits, {report.failed} failed | "
+                f"{rate:.1f} cells/s | eta {eta}")
+        if self.tty:
+            end = "\n" if final else ""
+            print(f"\r\x1b[2K{line}", end=end, file=self.stream, flush=True)
+        else:
+            print(line, file=self.stream, flush=True)
+
+
+def _attempt(runner, key, retries: int):
+    """Run one cell with bounded retries: ``(value, error_string|None)``."""
+    error = None
+    for _ in range(1 + retries):
+        try:
+            return float(runner(key)), None
+        except Exception as exc:  # noqa: BLE001 — cell isolation is the point
+            error = exc
+    return float("nan"), f"{type(error).__name__}: {error}"
+
+
+def _pool_initializer() -> None:
+    """Workers ignore SIGINT so the parent can drain in-flight cells."""
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+
+
+def _pool_run(key):
+    runner, retries = _WORKER
+    value, error = _attempt(runner, key, retries)
+    return key, value, error
+
+
+def _fork_context():
+    import multiprocessing
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:
+        return None
+
+
+def execute(runner, keys, *, jobs: int | None = None, retries: int = 0,
+            on_error: str = "nan", store=None, spec_for=None,
+            labels_for=None, progress: bool = False, on_cell=None,
+            desc: str = "cells") -> ExecutionReport:
+    """Run ``runner(key) -> cycles`` over *keys*, optionally in parallel.
+
+    Parameters mirror the harness' resilience contract: *retries* is the
+    per-cell retry budget, ``on_error="nan"`` records a spent budget as
+    NaN + error string while ``"raise"`` re-raises (serial) or raises a
+    :class:`RuntimeError` with the worker's error (parallel).  *store*
+    with *spec_for* (``key -> canonical spec dict``) enables the
+    content-addressed cache; *on_cell* (``key, value``) fires in the
+    parent for every completed cell (checkpoint writers hook in here);
+    *labels_for* (``key -> dict``) labels serial cells' telemetry frames.
+
+    On Ctrl-C the report comes back partial with ``interrupted=True``
+    (completed cells are already persisted through *store*/*on_cell*);
+    callers decide whether to re-raise.
+    """
+    from repro.obs import metrics as _obs_metrics
+
+    keys = list(keys)
+    if jobs is None:
+        jobs = default_jobs()
+    if jobs < 0:
+        raise ValueError(f"jobs must be >= 0, got {jobs}")
+    jobs = jobs or (os.cpu_count() or 1)
+    if retries < 0:
+        raise ValueError(f"retries must be >= 0, got {retries}")
+    if on_error not in ("nan", "raise"):
+        raise ValueError(f"on_error must be 'nan' or 'raise', got {on_error!r}")
+
+    report = ExecutionReport()
+    registry = _obs_metrics.active()
+    meter = _Progress(len(keys), desc, enabled=progress)
+
+    def count(status: str) -> None:
+        if registry is not None:
+            registry.incr("campaign.cells", status=status)
+
+    def record(key, value, error) -> None:
+        report.values[key] = value
+        if error is not None:
+            report.errors[key] = error
+            report.failed += 1
+            count("failed")
+        else:
+            report.computed += 1
+            count("computed")
+            if store is not None and spec_for is not None \
+                    and math.isfinite(value):
+                store.put(spec_for(key), value)
+        if on_cell is not None:
+            on_cell(key, value)
+        meter.update(report)
+
+    # Store short-circuit: serve cached cells without touching the pool.
+    work = []
+    for key in keys:
+        cached = store.get(spec_for(key)) if store is not None \
+            and spec_for is not None else None
+        if cached is not None:
+            report.values[key] = cached
+            report.hits += 1
+            count("hit")
+            if on_cell is not None:
+                on_cell(key, cached)
+            meter.update(report)
+        else:
+            work.append(key)
+
+    t0 = time.time()
+    ctx = _fork_context() if jobs > 1 else None
+    if jobs > 1 and ctx is None:
+        print("[campaign] fork start method unavailable; running serially",
+              file=sys.stderr)
+    try:
+        if ctx is not None and len(work) > 1:
+            _execute_pool(runner, work, ctx, min(jobs, len(work)), retries,
+                          record, report)
+        else:
+            _execute_serial(runner, work, retries, on_error, labels_for,
+                            registry, record, report)
+    finally:
+        report.elapsed = time.time() - t0
+        meter.update(report, final=True)
+
+    if report.errors and on_error == "raise":
+        key, error = next(iter(report.errors.items()))
+        raise RuntimeError(f"cell {key!r} failed after {retries} "
+                           f"retr{'y' if retries == 1 else 'ies'}: {error}")
+    return report
+
+
+def _execute_serial(runner, work, retries, on_error, labels_for, registry,
+                    record, report) -> None:
+    from contextlib import nullcontext
+
+    for key in work:
+        try:
+            # The cell scope is single-use: rebuild it per attempt.
+            error = None
+            value = float("nan")
+            for _ in range(1 + retries):
+                scope = registry.cell(**labels_for(key)) \
+                    if registry is not None and labels_for is not None \
+                    else nullcontext()
+                try:
+                    with scope:
+                        value, error = float(runner(key)), None
+                    break
+                except Exception as exc:  # noqa: BLE001
+                    error = exc
+            if error is not None and on_error == "raise":
+                raise error  # fail fast with the original exception
+            record(key, value, None if error is None else
+                   f"{type(error).__name__}: {error}")
+        except KeyboardInterrupt:
+            report.interrupted = True
+            return
+
+
+def _execute_pool(runner, work, ctx, jobs, retries, record, report) -> None:
+    """Sliding-window pool execution with graceful Ctrl-C draining."""
+    global _WORKER
+    _WORKER = (runner, retries)  # inherited by the forked workers
+    pool = ctx.Pool(processes=jobs, initializer=_pool_initializer)
+    try:
+        it = iter(work)
+        next_key = next(it, _DONE)
+        outstanding = {}
+        while outstanding or (next_key is not _DONE
+                              and not report.interrupted):
+            try:
+                while not report.interrupted and next_key is not _DONE \
+                        and len(outstanding) < jobs:
+                    outstanding[next_key] = pool.apply_async(
+                        _pool_run, (next_key,))
+                    next_key = next(it, _DONE)
+                ready = [k for k, ar in outstanding.items() if ar.ready()]
+                if not ready:
+                    time.sleep(0.005)
+                    continue
+                for k in ready:
+                    _, value, error = outstanding.pop(k).get()
+                    record(k, value, error)
+            except KeyboardInterrupt:
+                if report.interrupted:
+                    raise  # second Ctrl-C: abort hard
+                report.interrupted = True
+                print(f"\n[campaign] interrupted — draining "
+                      f"{len(outstanding)} in-flight cell(s) "
+                      f"(Ctrl-C again to abort)", file=sys.stderr)
+    finally:
+        _WORKER = None
+        pool.terminate()
+        pool.join()

@@ -1,0 +1,235 @@
+"""Content-addressed result store for campaign cells.
+
+A cell's store key is the SHA-256 of its canonical JSON spec combined
+with the current **code fingerprint** — a hash over every ``*.py`` file
+of the installed ``repro`` package plus the package version.  Editing
+any simulator source changes the fingerprint, so stale results are never
+returned; they linger as unreachable objects until ``gc`` removes them.
+
+Layout (git-style fan-out under the root, default ``~/.cache/repro`` or
+``$REPRO_STORE``)::
+
+    <root>/objects/<key[:2]>/<key[2:]>.json
+
+Each object file holds ``{"spec": ..., "value": ..., "fingerprint": ...}``
+and is written atomically (:func:`repro._util.atomic_write_text`), so a
+killed run never leaves a corrupt entry.  Non-finite values (failed
+cells) are deliberately *not* stored — a failure should be retried on
+the next run, not cached.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import time
+from dataclasses import dataclass, field
+
+from repro._util import atomic_write_text, canonical_json, sha256_hex
+
+__all__ = ["ResultStore", "StoreStats", "code_fingerprint",
+           "default_store_root", "DEFAULT_STORE_ROOT"]
+
+#: Fallback store location when neither ``--store`` nor ``REPRO_STORE``
+#: names one.
+DEFAULT_STORE_ROOT = "~/.cache/repro"
+
+_FINGERPRINT: str | None = None
+
+
+def code_fingerprint() -> str:
+    """Hash of the repro package's source tree + version (memoised).
+
+    16 hex chars of SHA-256 over every ``*.py`` file under the package
+    directory (sorted relative paths, path and content both hashed) and
+    ``repro.__version__`` — the cache-invalidation half of every store
+    key.
+    """
+    global _FINGERPRINT
+    if _FINGERPRINT is None:
+        import repro
+        pkg_dir = os.path.dirname(os.path.abspath(repro.__file__))
+        parts = [f"version={repro.__version__}"]
+        sources = []
+        for dirpath, dirnames, filenames in os.walk(pkg_dir):
+            dirnames[:] = [d for d in dirnames if d != "__pycache__"]
+            for fn in filenames:
+                if fn.endswith(".py"):
+                    full = os.path.join(dirpath, fn)
+                    sources.append((os.path.relpath(full, pkg_dir), full))
+        for rel, full in sorted(sources):
+            with open(full, "rb") as fh:
+                parts.append(f"{rel}:{sha256_hex(fh.read().decode('utf-8'))}")
+        _FINGERPRINT = sha256_hex("\n".join(parts))[:16]
+    return _FINGERPRINT
+
+
+def default_store_root() -> str | None:
+    """Store root from ``REPRO_STORE`` (None = store disabled)."""
+    root = os.environ.get("REPRO_STORE")
+    return root or None
+
+
+@dataclass
+class StoreStats:
+    """Hit/miss accounting for one :class:`ResultStore` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    corrupt: int = 0
+    skipped_nonfinite: int = 0
+
+    def to_dict(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses, "puts": self.puts,
+                "corrupt": self.corrupt,
+                "skipped_nonfinite": self.skipped_nonfinite}
+
+
+@dataclass
+class StoreEntry:
+    """One object file's metadata (``ls``/``gc`` surface)."""
+
+    key: str
+    path: str
+    spec: dict
+    value: float
+    fingerprint: str
+    age_seconds: float
+    size_bytes: int
+    current: bool = field(default=False)
+
+
+class ResultStore:
+    """Content-addressed cache of ``spec -> simulated cycles``.
+
+    *root* defaults to ``$REPRO_STORE`` or ``~/.cache/repro``;
+    *fingerprint* defaults to the live :func:`code_fingerprint` (tests
+    pin it to simulate code changes).
+    """
+
+    def __init__(self, root: str | os.PathLike | None = None,
+                 fingerprint: str | None = None):
+        root = root or default_store_root() or DEFAULT_STORE_ROOT
+        self.root = os.path.expanduser(os.fspath(root))
+        self.fingerprint = fingerprint or code_fingerprint()
+        self.stats = StoreStats()
+
+    # ----- keys and paths --------------------------------------------------
+
+    def key(self, spec: dict) -> str:
+        """SHA-256 key of *spec* under the store's code fingerprint."""
+        return sha256_hex(canonical_json(
+            {"spec": spec, "code": self.fingerprint}))
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.root, "objects", key[:2], f"{key[2:]}.json")
+
+    # ----- read/write ------------------------------------------------------
+
+    def _read(self, path: str) -> dict | None:
+        import json
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                data = json.load(fh)
+            if not isinstance(data, dict) or "value" not in data:
+                raise ValueError("not a store object")
+            return data
+        except OSError:
+            return None
+        except ValueError:
+            self.stats.corrupt += 1
+            return None
+
+    def contains(self, spec: dict) -> bool:
+        """Whether a current-fingerprint result exists (stats untouched)."""
+        return self._read(self._path(self.key(spec))) is not None
+
+    def get(self, spec: dict) -> float | None:
+        """Cached value for *spec*, or None on a miss."""
+        data = self._read(self._path(self.key(spec)))
+        if data is None:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return float(data["value"])
+
+    def put(self, spec: dict, value: float) -> str | None:
+        """Store *value* for *spec*; returns the key (None if skipped).
+
+        Non-finite values are not cached — a NaN cell means "failed
+        after retries" and must be recomputed next run.
+        """
+        value = float(value)
+        if not math.isfinite(value):
+            self.stats.skipped_nonfinite += 1
+            return None
+        key = self.key(spec)
+        path = self._path(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        atomic_write_text(path, canonical_json(
+            {"spec": spec, "value": value, "fingerprint": self.fingerprint}))
+        self.stats.puts += 1
+        return key
+
+    # ----- maintenance surface (ls / gc / clear) ---------------------------
+
+    def entries(self) -> list[StoreEntry]:
+        """Every readable object in the store, sorted by key."""
+        out = []
+        objects = os.path.join(self.root, "objects")
+        if not os.path.isdir(objects):
+            return out
+        now = time.time()
+        for prefix in sorted(os.listdir(objects)):
+            subdir = os.path.join(objects, prefix)
+            if not os.path.isdir(subdir):
+                continue
+            for fn in sorted(os.listdir(subdir)):
+                if not fn.endswith(".json"):
+                    continue
+                path = os.path.join(subdir, fn)
+                data = self._read(path)
+                if data is None:
+                    continue
+                st = os.stat(path)
+                fp = data.get("fingerprint", "")
+                out.append(StoreEntry(
+                    key=prefix + fn[:-len(".json")], path=path,
+                    spec=data.get("spec", {}), value=float(data["value"]),
+                    fingerprint=fp, age_seconds=max(0.0, now - st.st_mtime),
+                    size_bytes=st.st_size, current=fp == self.fingerprint))
+        return out
+
+    def gc(self, max_age_days: float | None = None,
+           stale_only: bool = False) -> tuple[int, int]:
+        """Remove unreachable objects; returns ``(removed, kept)``.
+
+        An object is removed when its fingerprint is stale (written by a
+        different code version — unreachable by any current key) or,
+        with *max_age_days*, when it is older than that.  *stale_only*
+        restricts removal to fingerprint-stale entries even when an age
+        limit is given.
+        """
+        removed = kept = 0
+        for entry in self.entries():
+            stale = not entry.current
+            too_old = (max_age_days is not None
+                       and entry.age_seconds > max_age_days * 86400.0)
+            if stale or (too_old and not stale_only):
+                os.remove(entry.path)
+                removed += 1
+            else:
+                kept += 1
+        return removed, kept
+
+    def clear(self) -> int:
+        """Remove every object (the root directory itself is kept)."""
+        removed = 0
+        for entry in self.entries():
+            os.remove(entry.path)
+            removed += 1
+        return removed
+
+    def __len__(self) -> int:
+        return len(self.entries())

@@ -8,6 +8,11 @@ from repro.experiments.harness import (
     geomean,
     panel_graphs,
     panel_threads,
+    panel_store,
+    parse_graph_names,
+    parse_thread_counts,
+    env_csv,
+    fast_mode,
     ordered_suite_graph,
     repeat_average,
 )
@@ -57,7 +62,9 @@ from repro.experiments.ablations import (
 
 __all__ = [
     "THREADS_MIC", "THREADS_HOST", "PanelResult", "run_panel", "geomean",
-    "panel_graphs", "panel_threads", "ordered_suite_graph", "repeat_average",
+    "panel_graphs", "panel_threads", "panel_store", "parse_graph_names",
+    "parse_thread_counts", "env_csv", "fast_mode",
+    "ordered_suite_graph", "repeat_average",
     "format_panel", "format_panel_per_graph", "format_rows", "print_panel",
     "table1_rows", "format_table1", "run_table1",
     "COLORING_VARIANTS", "BEST_PER_MODEL", "coloring_cycles", "run_fig1",

@@ -29,7 +29,8 @@ __all__ = ["run_block_size_ablation", "run_relaxed_ablation",
            "run_bandwidth_ablation", "run_all_ablations"]
 
 
-def run_block_size_ablation(graphs=None, threads=None) -> PanelResult:
+def run_block_size_ablation(graphs=None, threads=None, jobs=None,
+                            store=None) -> PanelResult:
     """BFS speedup vs. queue block size (OpenMP-Block-relaxed)."""
     graphs = graphs or ["pwtk", "inline_1"]
 
@@ -40,18 +41,21 @@ def run_block_size_ablation(graphs=None, threads=None) -> PanelResult:
     variants = [f"b={b}" for b in (8, 16, 32, 64, 128)]
     return run_panel("Ablation: BFS block size (OpenMP-Block-relaxed)",
                      runner, variants, graphs=graphs, threads=threads,
-                     per_variant_baseline=False)
+                     per_variant_baseline=False, jobs=jobs, store=store)
 
 
-def run_relaxed_ablation(graphs=None, threads=None) -> PanelResult:
+def run_relaxed_ablation(graphs=None, threads=None, jobs=None,
+                         store=None) -> PanelResult:
     """Relaxed vs. locked queue insertion across BFS variants."""
     return run_fig4_panel(
         "Ablation: relaxed vs locked queues (BFS, Intel MIC)",
         ["OpenMP-Block-relaxed", "OpenMP-Block"],
-        graphs or ["pwtk", "inline_1", "ldoor"], KNF, threads=threads)
+        graphs or ["pwtk", "inline_1", "ldoor"], KNF, threads=threads,
+        jobs=jobs, store=store)
 
 
-def run_smt_ablation(graphs=None, threads=None) -> PanelResult:
+def run_smt_ablation(graphs=None, threads=None, jobs=None,
+                     store=None) -> PanelResult:
     """Coloring on shuffled graphs with 1-way vs. 4-way SMT cores."""
     graphs = graphs or ["hood", "msdoor"]
     no_smt = KNF.with_(name="KNF-noSMT", smt_per_core=1)
@@ -67,10 +71,12 @@ def run_smt_ablation(graphs=None, threads=None) -> PanelResult:
 
     return run_panel("Ablation: SMT on/off (coloring, natural order)",
                      runner, ["SMT 4-way", "SMT 1-way"], graphs=graphs,
-                     threads=threads, per_variant_baseline=True)
+                     threads=threads, per_variant_baseline=True, jobs=jobs,
+                     store=store)
 
 
-def run_cache_ablation(graphs=None, threads=None) -> PanelResult:
+def run_cache_ablation(graphs=None, threads=None, jobs=None,
+                       store=None) -> PanelResult:
     """Shuffled coloring with and without the aggregate-cache benefit."""
     graphs = graphs or ["hood", "msdoor"]
     no_agg = KNF.with_(name="KNF-noAggCache",
@@ -84,10 +90,11 @@ def run_cache_ablation(graphs=None, threads=None) -> PanelResult:
     return run_panel(
         "Ablation: aggregate-cache residency (coloring, shuffled)",
         runner, ["with chip cache", "without chip cache"], graphs=graphs,
-        threads=threads, per_variant_baseline=True)
+        threads=threads, per_variant_baseline=True, jobs=jobs, store=store)
 
 
-def run_bandwidth_ablation(graphs=None, threads=None) -> PanelResult:
+def run_bandwidth_ablation(graphs=None, threads=None, jobs=None,
+                           store=None) -> PanelResult:
     """Shuffled coloring under progressively narrower DRAM channels.
 
     Caches are shrunk to almost nothing so every access actually reaches
@@ -108,15 +115,19 @@ def run_bandwidth_ablation(graphs=None, threads=None) -> PanelResult:
     variants = [f"banks={b}" for b in (16, 4, 1)]
     return run_panel("Ablation: DRAM bandwidth (coloring, shuffled)",
                      runner, variants, graphs=graphs, threads=threads,
-                     per_variant_baseline=True)
+                     per_variant_baseline=True, jobs=jobs, store=store)
 
 
-def run_all_ablations(graphs=None, threads=None) -> dict[str, PanelResult]:
+def run_all_ablations(graphs=None, threads=None, jobs=None,
+                      store=None) -> dict[str, PanelResult]:
     """Run every ablation; returns panels keyed by short name."""
     return {
-        "block_size": run_block_size_ablation(threads=threads),
-        "relaxed": run_relaxed_ablation(threads=threads),
-        "smt": run_smt_ablation(threads=threads),
-        "cache": run_cache_ablation(threads=threads),
-        "bandwidth": run_bandwidth_ablation(threads=threads),
+        "block_size": run_block_size_ablation(threads=threads, jobs=jobs,
+                                              store=store),
+        "relaxed": run_relaxed_ablation(threads=threads, jobs=jobs,
+                                        store=store),
+        "smt": run_smt_ablation(threads=threads, jobs=jobs, store=store),
+        "cache": run_cache_ablation(threads=threads, jobs=jobs, store=store),
+        "bandwidth": run_bandwidth_ablation(threads=threads, jobs=jobs,
+                                            store=store),
     }

@@ -28,7 +28,8 @@ CHUNK_SIZES = [3, 5, 8, 13, 19, 32]
 
 
 def run_chunk_sweep(schedule: Schedule = Schedule.DYNAMIC,
-                    graphs=None, threads=None) -> PanelResult:
+                    graphs=None, threads=None, jobs=None,
+                    store=None) -> PanelResult:
     """Colouring speedup as a function of OpenMP chunk size."""
     graphs = graphs or ["hood", "msdoor"]
 
@@ -43,4 +44,5 @@ def run_chunk_sweep(schedule: Schedule = Schedule.DYNAMIC,
     variants = [f"chunk={c}" for c in CHUNK_SIZES]
     return run_panel(
         f"Chunk-size sweep: coloring, OpenMP {schedule.value}",
-        runner, variants, graphs=graphs, threads=threads)
+        runner, variants, graphs=graphs, threads=threads, jobs=jobs,
+        store=store)

@@ -16,6 +16,15 @@ Telemetry (``repro.obs``):
 * ``diff-metrics BASELINE CURRENT`` compares two metrics dumps and
   exits non-zero on cycle-breakdown drift past ``--threshold`` — the
   CI perf-regression gate.
+
+Campaigns (``repro.campaign``):
+
+* ``repro campaign run|status|cache ...`` delegates to
+  :mod:`repro.campaign.cli` — declarative sweep specs, a parallel
+  executor and a content-addressed result store;
+* ``--jobs N`` computes any figure's sweep cells on N worker processes
+  (bitwise-identical to the serial run); ``--store DIR`` caches every
+  finished cell so repeated figure/ablation/CI runs recompute nothing.
 """
 
 from __future__ import annotations
@@ -36,12 +45,40 @@ _OBSERVABLE = {"fig1", "fig2", "fig3", "fig4", "fig-faults", "ablations",
                "chunk-sweep", "all"}
 
 
+class _VersionAction(argparse.Action):
+    """``--version``: package version + campaign-store code fingerprint.
+
+    The fingerprint half of every store key is surfaced here so a user
+    can see at a glance whether two checkouts will share cache entries.
+    Computed lazily — it hashes the whole source tree.
+    """
+
+    def __init__(self, option_strings, dest, **kwargs):
+        super().__init__(option_strings, dest, nargs=0, **kwargs)
+
+    def __call__(self, parser, namespace, values, option_string=None):
+        import repro
+        from repro.campaign.store import code_fingerprint
+        print(f"repro {repro.__version__} "
+              f"(code fingerprint {code_fingerprint()})")
+        parser.exit()
+
+
 def main(argv=None) -> int:
     """Entry point for ``repro-experiments`` (returns the exit code)."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "campaign":
+        from repro.campaign.cli import main as campaign_main
+        return campaign_main(list(argv[1:]))
+
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description="Regenerate the paper's tables and figures on the "
-                    "simulated Intel MIC machine.")
+                    "simulated Intel MIC machine.  'repro campaign ...' "
+                    "runs declarative sweep campaigns instead.")
+    parser.add_argument("--version", action=_VersionAction,
+                        help="print version + campaign code fingerprint")
     parser.add_argument("what", choices=_CHOICES, help="experiment to run")
     parser.add_argument("paths", nargs="*", default=[],
                         help="for diff-metrics: BASELINE and CURRENT "
@@ -57,6 +94,13 @@ def main(argv=None) -> int:
     parser.add_argument("--checkpoint", default=None,
                         help="sweep checkpoint path (sets REPRO_CHECKPOINT; "
                              "re-run with the same path to resume)")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="worker processes for sweep cells (sets "
+                             "REPRO_JOBS; 0 = one per CPU, default serial)")
+    parser.add_argument("--store", default=None, metavar="DIR",
+                        help="content-addressed result store root (sets "
+                             "REPRO_STORE; cached cells are never "
+                             "recomputed)")
     parser.add_argument("--fault-seed", type=int, default=None,
                         help="fault scenario seed (sets REPRO_FAULT_SEED)")
     parser.add_argument("--trace", default=None, metavar="PATH",
@@ -89,6 +133,10 @@ def main(argv=None) -> int:
         os.environ["REPRO_RETRIES"] = str(args.retries)
     if args.checkpoint:
         os.environ["REPRO_CHECKPOINT"] = args.checkpoint
+    if args.jobs is not None:
+        os.environ["REPRO_JOBS"] = str(args.jobs)
+    if args.store:
+        os.environ["REPRO_STORE"] = args.store
     if args.fault_seed is not None:
         os.environ["REPRO_FAULT_SEED"] = str(args.fault_seed)
 

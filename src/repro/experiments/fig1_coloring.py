@@ -65,15 +65,18 @@ def coloring_cycles(graph_name: str, variant: str, n_threads: int,
     return run.total_cycles
 
 
-def run_fig1(graphs=None, threads=None) -> dict[str, PanelResult]:
+def run_fig1(graphs=None, threads=None, jobs=None,
+             store=None) -> dict[str, PanelResult]:
     """Regenerate all three Figure 1 panels.
 
     All eight variants are swept together so every panel shares the same
     per-graph baseline — "the configuration that performs the fastest on
     1 thread for that graph" (§V-A), which in practice is an OpenMP run.
+    ``jobs``/``store`` reach the campaign executor via ``run_panel``.
     """
     combined = run_panel("fig1", coloring_cycles, list(COLORING_VARIANTS),
-                         graphs=graphs, threads=threads)
+                         graphs=graphs, threads=threads, jobs=jobs,
+                         store=store)
     out = {}
     for title, variants in _PANELS.items():
         panel = PanelResult(title=title,

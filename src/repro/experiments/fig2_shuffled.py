@@ -21,9 +21,9 @@ PAPER_FIG2_AT_121 = {"OpenMP-dynamic": 153.0, "TBB-simple": 121.0,
                      "CilkPlus-holder": 98.0}
 
 
-def run_fig2(graphs=None, threads=None) -> PanelResult:
+def run_fig2(graphs=None, threads=None, jobs=None, store=None) -> PanelResult:
     """Regenerate Figure 2 (best variant of each model, shuffled IDs)."""
     runner = partial(coloring_cycles, ordering="random")
     return run_panel("Fig 2: coloring speedup, randomly ordered graphs",
                      runner, list(BEST_PER_MODEL),
-                     graphs=graphs, threads=threads)
+                     graphs=graphs, threads=threads, jobs=jobs, store=store)

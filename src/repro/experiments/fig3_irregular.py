@@ -48,27 +48,48 @@ def irregular_cycles(graph_name: str, variant: str, n_threads: int,
     return run.total_cycles
 
 
-def run_fig3(graphs=None, threads=None) -> dict[str, PanelResult]:
+def _fig3_cell(key) -> float:
+    """Executor cell adapter: ``(model, graph, iterations, threads)``."""
+    model, g, it, t = key
+    return irregular_cycles(g, f"{it} x", t, model=model)
+
+
+def run_fig3(graphs=None, threads=None, jobs=None,
+             store=None) -> dict[str, PanelResult]:
     """Regenerate all three Figure 3 panels.
 
     Speedups are "computed relatively to the same number of iterations"
     (§V-C): for each (graph, iteration count) the baseline is the fastest
     1-thread run across the three models, shared by all three panels.
+    Cells go through the campaign executor like every ``run_panel``
+    figure — ``jobs``/``store`` (or ``REPRO_JOBS``/``REPRO_STORE``)
+    parallelise and cache the 4-axis sweep.
     """
-    from repro.experiments.harness import geomean, panel_graphs, panel_threads
+    import os
+
+    from repro.campaign.executor import execute
+    from repro.experiments.harness import (geomean, panel_graphs,
+                                           panel_store, panel_threads)
 
     graphs = graphs if graphs is not None else panel_graphs()
     threads = threads if threads is not None else panel_threads()
     if 1 not in threads:
         threads = [1] + list(threads)
 
-    cycles = {}
-    for model in IRREGULAR_MODELS:
-        for g in graphs:
-            for it in ITERATION_COUNTS:
-                for t in threads:
-                    cycles[(model, g, it, t)] = irregular_cycles(
-                        g, f"{it} x", t, model=model)
+    keys = [(model, g, it, t) for model in IRREGULAR_MODELS for g in graphs
+            for it in ITERATION_COUNTS for t in threads]
+    report = execute(
+        _fig3_cell, keys, jobs=jobs, on_error="raise",
+        store=panel_store(store),
+        spec_for=lambda k: {"panel": "fig3", "model": k[0], "graph": k[1],
+                            "iterations": k[2], "threads": k[3]},
+        labels_for=lambda k: {"graph": k[1], "variant": f"{k[0]}-{k[2]}it",
+                              "threads": k[3]},
+        progress=bool(os.environ.get("REPRO_PROGRESS")),
+        desc="cells (fig3)")
+    if report.interrupted:
+        raise KeyboardInterrupt
+    cycles = report.values
     baseline = {(g, it): min(cycles[(m, g, it, 1)] for m in IRREGULAR_MODELS)
                 for g in graphs for it in ITERATION_COUNTS}
 

@@ -81,37 +81,40 @@ def model_series(graphs: list[str], threads: list[int],
 def run_fig4_panel(title: str, variants: list[str],
                    graphs: list[str], config: MachineConfig,
                    threads: list[int] | None = None,
-                   block: int = BLOCK_SIZE) -> PanelResult:
+                   block: int = BLOCK_SIZE, jobs=None,
+                   store=None) -> PanelResult:
     """One Figure 4 panel, with the analytic model as an extra series."""
     threads = threads if threads is not None else \
         panel_threads(host=config is HOST_XEON)
     threads = [t for t in threads if t <= config.max_threads]
     runner = partial(bfs_cycles, config=config, block=block)
-    panel = run_panel(title, runner, variants, graphs=graphs, threads=threads)
+    panel = run_panel(title, runner, variants, graphs=graphs, threads=threads,
+                      jobs=jobs, store=store)
     panel.series = {"Model": model_series(graphs, panel.thread_counts, block),
                     **panel.series}
     return panel
 
 
-def run_fig4(graphs=None, threads=None) -> dict[str, PanelResult]:
+def run_fig4(graphs=None, threads=None, jobs=None,
+             store=None) -> dict[str, PanelResult]:
     """Regenerate all four Figure 4 panels."""
     graphs = graphs if graphs is not None else panel_graphs()
     out = {}
     out["Fig 4(a): BFS speedup, pwtk on Intel MIC"] = run_fig4_panel(
         "Fig 4(a): BFS speedup, pwtk on Intel MIC",
         ["OpenMP-Block-relaxed", "OpenMP-Block"], ["pwtk"], KNF,
-        threads=threads)
+        threads=threads, jobs=jobs, store=store)
     out["Fig 4(b): BFS speedup, inline_1 on Intel MIC"] = run_fig4_panel(
         "Fig 4(b): BFS speedup, inline_1 on Intel MIC",
         ["OpenMP-Block-relaxed", "OpenMP-Block"], ["inline_1"], KNF,
-        threads=threads)
+        threads=threads, jobs=jobs, store=store)
     out["Fig 4(c): BFS speedup, all graphs on Intel MIC"] = run_fig4_panel(
         "Fig 4(c): BFS speedup, all graphs on Intel MIC",
         ["OpenMP-Block-relaxed", "TBB-Block-relaxed", "CilkPlus-Bag-relaxed"],
-        graphs, KNF, threads=threads)
+        graphs, KNF, threads=threads, jobs=jobs, store=store)
     out["Fig 4(d): BFS speedup, all graphs on host CPU"] = run_fig4_panel(
         "Fig 4(d): BFS speedup, all graphs on host CPU",
         ["OpenMP-Block-relaxed", "TBB-Block-relaxed", "OpenMP-TLS",
          "CilkPlus-Bag-relaxed"],
-        graphs, HOST_XEON)
+        graphs, HOST_XEON, jobs=jobs, store=store)
     return out

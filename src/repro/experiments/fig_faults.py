@@ -67,8 +67,8 @@ def fault_seed() -> int:
 
 
 def _intensities() -> list[int]:
-    import os
-    if os.environ.get("REPRO_FAST"):
+    from repro.experiments.harness import fast_mode
+    if fast_mode():
         return list(_FAST_INTENSITIES)
     return list(INTENSITIES)
 
@@ -127,13 +127,15 @@ def faulted_bfs_cycles(graph_name: str, variant: str,
     return _run_cycles("bfs", graph_name, variant, faults)
 
 
-def run_fig_faults(graphs=None, intensities=None) -> dict[str, PanelResult]:
+def run_fig_faults(graphs=None, intensities=None, jobs=None,
+                   store=None) -> dict[str, PanelResult]:
     """Degradation panels for colouring and BFS under random fault plans.
 
     Series values are healthy-over-faulted cycle ratios (geomean over
     graphs); the x axis is fault intensity in percent.  Identical
     ``REPRO_FAULT_SEED`` values regenerate bit-identical fault schedules
-    and therefore identical panels.
+    and therefore identical panels (the panel title carries the seed, so
+    store entries from different scenarios never collide).
     """
     graphs = graphs if graphs is not None else panel_graphs()
     intensities = intensities if intensities is not None else _intensities()
@@ -144,7 +146,8 @@ def run_fig_faults(graphs=None, intensities=None) -> dict[str, PanelResult]:
                  f"({FAULT_THREADS} threads, seed {fault_seed()})")
         panel = run_panel(title, runner, list(FAULT_RUNTIMES), graphs=graphs,
                           threads=list(intensities),
-                          per_variant_baseline=True, baseline_point=0)
+                          per_variant_baseline=True, baseline_point=0,
+                          jobs=jobs, store=store)
         out[kernel] = panel
     return out
 

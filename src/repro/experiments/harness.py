@@ -14,13 +14,18 @@ be shortened): ``REPRO_GRAPHS`` — comma-separated subset of suite names;
 ``REPRO_THREADS`` — comma-separated thread counts; ``REPRO_FAST=1`` —
 three graphs, five thread counts; ``REPRO_RETRIES`` — per-cell retry
 count for :func:`run_panel` (default 1); ``REPRO_CHECKPOINT`` — default
-checkpoint path for sweep resume.
+checkpoint path for sweep resume; ``REPRO_JOBS`` — worker processes for
+the campaign executor (default 1 = serial in-process); ``REPRO_STORE``
+— root of the content-addressed result store (unset = no caching).
 
 Resilience: :func:`run_panel` retries failing cells a bounded number of
 times, records survivors as NaN instead of discarding the sweep
 (``PanelResult.failures`` holds the error per cell), and can checkpoint
 every computed cell to disk so a crashed 121-thread × 10-graph panel
-resumes where it stopped.
+resumes where it stopped.  The store supersedes ad-hoc checkpoints for
+resume: with ``REPRO_STORE`` set, every finished cell is content-
+addressed by (panel title, graph, variant, threads) + code fingerprint
+and a re-run serves it as a cache hit.
 """
 
 from __future__ import annotations
@@ -37,7 +42,9 @@ from repro.graph.reorder import apply_ordering
 from repro.graph.suite import SUITE, suite_graph, suite_scale
 
 __all__ = ["THREADS_MIC", "THREADS_HOST", "PanelResult", "run_panel",
-           "panel_graphs", "panel_threads", "ordered_suite_graph", "geomean"]
+           "panel_graphs", "panel_threads", "ordered_suite_graph", "geomean",
+           "env_csv", "fast_mode", "parse_thread_counts",
+           "parse_graph_names", "panel_store"]
 
 #: The paper's MIC thread sweep: "1 to 121 by increment of 10" (§V-B).
 THREADS_MIC = [1] + list(range(11, 122, 10))
@@ -49,49 +56,83 @@ _FAST_THREADS_MIC = [1, 11, 31, 61, 121]
 _FAST_THREADS_HOST = [1, 4, 8, 12, 16, 24]
 
 
+def env_csv(name: str) -> list[str] | None:
+    """Comma-separated env list → stripped tokens (None when unset/empty).
+
+    The one shared parser behind ``REPRO_GRAPHS`` / ``REPRO_THREADS`` —
+    blanks between commas are dropped, an entirely blank value counts as
+    set-but-empty (``[]``) so validation can reject it clearly.
+    """
+    env = os.environ.get(name)
+    if not env:
+        return None
+    return [token.strip() for token in env.split(",") if token.strip()]
+
+
+def fast_mode() -> bool:
+    """Whether ``REPRO_FAST`` shrinks sweeps (shared by every driver)."""
+    return bool(os.environ.get("REPRO_FAST"))
+
+
+def parse_thread_counts(values, source: str) -> list[int]:
+    """Validated, sorted, de-duplicated thread counts.
+
+    Entries must be positive integers — rejected with a clear
+    :class:`ValueError` naming *source* otherwise (``0`` or negatives
+    would later divide-by-zero in the speedup math; ``int()`` tracebacks
+    are opaque).  Shared by the env knob, the CLI flag and campaign spec
+    validation so every path fails with the same message.
+    """
+    counts = set()
+    for token in values:
+        try:
+            t = int(token)
+        except (TypeError, ValueError):
+            raise ValueError(
+                f"{source} entry {token!r} is not an integer") from None
+        if t < 1:
+            raise ValueError(f"{source} entry {t} must be >= 1")
+        counts.add(t)
+    if not counts:
+        raise ValueError(f"{source} names no thread counts")
+    return sorted(counts)
+
+
+def parse_graph_names(values, source: str) -> list[str]:
+    """Validated suite graph names (order preserved).
+
+    Unknown graphs raise the same clear :class:`ValueError` shape as
+    unknown thread counts — naming *source*, the offenders, and the
+    valid set.
+    """
+    names = [str(g).strip() for g in values if str(g).strip()]
+    unknown = [g for g in names if g not in SUITE]
+    if unknown:
+        raise ValueError(f"{source} contains unknown graphs {unknown} "
+                         f"(suite: {list(SUITE)})")
+    if not names:
+        raise ValueError(f"{source} names no graphs")
+    return names
+
+
 def panel_graphs() -> list[str]:
     """Suite graphs to sweep (honours REPRO_GRAPHS / REPRO_FAST)."""
-    env = os.environ.get("REPRO_GRAPHS")
-    if env:
-        names = [g.strip() for g in env.split(",") if g.strip()]
-        unknown = [g for g in names if g not in SUITE]
-        if unknown:
-            raise ValueError(f"REPRO_GRAPHS contains unknown graphs {unknown}")
-        return names
-    if os.environ.get("REPRO_FAST"):
+    tokens = env_csv("REPRO_GRAPHS")
+    if tokens is not None:
+        return parse_graph_names(tokens, source="REPRO_GRAPHS")
+    if fast_mode():
         return list(_FAST_GRAPHS)
     return list(SUITE)
 
 
 def panel_threads(host: bool = False) -> list[int]:
-    """Thread sweep to use (honours REPRO_THREADS / REPRO_FAST).
-
-    ``REPRO_THREADS`` entries must be positive integers — rejected with a
-    clear :class:`ValueError` otherwise (``0`` or negatives would later
-    divide-by-zero in the speedup math; ``int()`` tracebacks are opaque).
-    """
-    env = os.environ.get("REPRO_THREADS")
-    if env:
-        counts = set()
-        for token in env.split(","):
-            token = token.strip()
-            if not token:
-                continue
-            try:
-                t = int(token)
-            except ValueError:
-                raise ValueError(
-                    f"REPRO_THREADS entry {token!r} is not an integer "
-                    f"(got REPRO_THREADS={env!r})") from None
-            if t < 1:
-                raise ValueError(
-                    f"REPRO_THREADS entry {t} must be >= 1 "
-                    f"(got REPRO_THREADS={env!r})")
-            counts.add(t)
-        if not counts:
-            raise ValueError(f"REPRO_THREADS={env!r} names no thread counts")
-        return sorted(counts)
-    if os.environ.get("REPRO_FAST"):
+    """Thread sweep to use (honours REPRO_THREADS / REPRO_FAST)."""
+    tokens = env_csv("REPRO_THREADS")
+    if tokens is not None:
+        env = os.environ.get("REPRO_THREADS", "")
+        return parse_thread_counts(tokens,
+                                   source=f"REPRO_THREADS={env!r}")
+    if fast_mode():
         return list(_FAST_THREADS_HOST if host else _FAST_THREADS_MIC)
     return list(THREADS_HOST if host else THREADS_MIC)
 
@@ -148,6 +189,24 @@ class PanelResult:
         return float(self.series[label][self.thread_counts.index(n_threads)])
 
 
+def panel_store(store=None):
+    """Resolve a result-store argument to a live store (or None).
+
+    Accepts an already-built :class:`~repro.campaign.store.ResultStore`,
+    a root path, or None — in which case the ``REPRO_STORE`` env var
+    decides (unset = caching off, the serial in-process default).
+    """
+    if store is None:
+        root = os.environ.get("REPRO_STORE")
+        if not root:
+            return None
+        store = root
+    if isinstance(store, (str, os.PathLike)):
+        from repro.campaign.store import ResultStore
+        return ResultStore(store)
+    return store
+
+
 def run_panel(
     title: str,
     runner: Callable[[str, str, int], float],
@@ -160,6 +219,8 @@ def run_panel(
     retries: int | None = None,
     on_error: str = "nan",
     checkpoint: str | os.PathLike | None = None,
+    jobs: int | None = None,
+    store=None,
 ) -> PanelResult:
     """Sweep ``runner(graph, variant, threads) -> cycles`` over a panel.
 
@@ -173,6 +234,19 @@ def run_panel(
     the fault experiments sweep fault intensity on this axis and baseline
     at intensity 0.
 
+    Execution goes through the campaign executor
+    (:func:`repro.campaign.executor.execute`):
+
+    * ``jobs`` (default: ``REPRO_JOBS`` env var, else 1) computes cells
+      on a fork-based process pool — every cell is a pure function of
+      its coordinates, so ``jobs=4`` output is bitwise identical to the
+      serial run; ``0`` means one worker per CPU;
+    * ``store`` (default: ``REPRO_STORE`` env var, else off) caches each
+      finished cell content-addressed by (panel title, graph, variant,
+      threads) + code fingerprint, so repeated sweeps across figures,
+      ablations and CI recompute nothing.  Callers that vary hidden
+      runner parameters under one title must keep the store off.
+
     Resilience (partial-result semantics):
 
     * a cell whose runner raises is retried up to ``retries`` times
@@ -185,8 +259,11 @@ def run_panel(
       :func:`repro.experiments.save.save_checkpoint`; re-running the same
       panel with the same checkpoint path skips finished cells, so a
       crashed sweep resumes instead of restarting (failed cells are
-      retried on resume).
+      retried on resume).  The content-addressed store supersedes this
+      per-path checkpointing — prefer ``REPRO_STORE`` unless you need a
+      single portable file.
     """
+    from repro.campaign.executor import execute
     from repro.experiments.save import load_checkpoint, save_checkpoint
 
     graphs = graphs if graphs is not None else panel_graphs()
@@ -196,28 +273,36 @@ def run_panel(
         threads = [baseline_point] + list(threads)
     if retries is None:
         retries = int(os.environ.get("REPRO_RETRIES", "1"))
-    if retries < 0:
-        raise ValueError(f"retries must be >= 0, got {retries}")
-    if on_error not in ("nan", "raise"):
-        raise ValueError(f"on_error must be 'nan' or 'raise', got {on_error!r}")
     if checkpoint is None:
         checkpoint = os.environ.get("REPRO_CHECKPOINT") or None
+    store = panel_store(store)
 
     cycles: dict[tuple[str, str, int], float] = {}
     if checkpoint is not None:
         cycles.update(load_checkpoint(checkpoint, title))
-    failures: dict[tuple[str, str, int], str] = {}
 
-    for g in graphs:
-        for v in variants:
-            for t in threads:
-                key = (g, v, t)
-                if key in cycles and math.isfinite(cycles[key]):
-                    continue  # resumed from checkpoint
-                cycles[key] = _run_cell(runner, key, retries, on_error,
-                                        failures)
-                if checkpoint is not None:
-                    save_checkpoint(checkpoint, title, cycles)
+    pending = [(g, v, t) for g in graphs for v in variants for t in threads
+               if not ((g, v, t) in cycles and math.isfinite(cycles[(g, v, t)]))]
+
+    on_cell = None
+    if checkpoint is not None:
+        def on_cell(key, value):
+            cycles[key] = value
+            save_checkpoint(checkpoint, title, cycles)
+
+    report = execute(
+        lambda key: runner(*key), pending, jobs=jobs, retries=retries,
+        on_error=on_error, store=store,
+        spec_for=lambda key: {"panel": title, "graph": key[0],
+                              "variant": key[1], "threads": key[2]},
+        labels_for=lambda key: {"graph": key[0], "variant": key[1],
+                                "threads": key[2]},
+        progress=bool(os.environ.get("REPRO_PROGRESS")),
+        on_cell=on_cell, desc=f"cells ({title})")
+    cycles.update(report.values)
+    failures = dict(report.errors)
+    if report.interrupted:
+        raise KeyboardInterrupt  # completed cells live in checkpoint/store
 
     result = PanelResult(title=title, thread_counts=list(threads),
                          failures=dict(failures))
@@ -244,36 +329,6 @@ def run_panel(
                         f"retr{'y' if retries == 1 else 'ies'} — "
                         + "; ".join(shown) + more)
     return result
-
-
-def _run_cell(runner, key, retries: int, on_error: str, failures: dict) -> float:
-    """One panel cell with bounded retry; NaN (recorded) after the budget.
-
-    When a metrics registry (:mod:`repro.obs.metrics`) is active, the cell
-    runs inside ``registry.cell(graph=..., variant=..., threads=...)`` so
-    every telemetry frame the runner emits is labelled with its sweep
-    coordinates.
-    """
-    from contextlib import nullcontext
-
-    from repro.obs import metrics as _obs_metrics
-
-    g, v, t = key
-    registry = _obs_metrics.active()
-    error = None
-    for _ in range(1 + retries):
-        # The cell scope is single-use: rebuild it per attempt.
-        scope = registry.cell(graph=g, variant=v, threads=t) \
-            if registry is not None else nullcontext()
-        try:
-            with scope:
-                return runner(g, v, t)
-        except Exception as exc:  # noqa: BLE001 — cell isolation is the point
-            error = exc
-    if on_error == "raise":
-        raise error
-    failures[key] = f"{type(error).__name__}: {error}"
-    return float("nan")
 
 
 def repeat_average(fn: Callable[[int], float], runs: int = 10,

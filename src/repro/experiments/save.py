@@ -9,7 +9,12 @@ persist the raw per-cell cycle measurements of an in-flight
 :func:`~repro.experiments.harness.run_panel` sweep (keyed by panel title,
 one file can hold several panels) so a crashed 121-thread × 10-graph
 panel resumes instead of restarting.  Writes are atomic (tmp +
-``os.replace``) — a crash mid-write never corrupts the checkpoint.
+``os.replace``) — a crash mid-write never corrupts the checkpoint — and
+loads are tolerant: a truncated or foreign file warns and resumes from
+scratch rather than killing the sweep it was meant to protect.  The
+content-addressed campaign store (:mod:`repro.campaign.store`)
+supersedes these per-path files for cross-figure/CI reuse; checkpoints
+remain for a single portable resume file.
 """
 
 from __future__ import annotations
@@ -17,6 +22,7 @@ from __future__ import annotations
 import json
 import math
 import os
+import warnings
 
 import numpy as np
 
@@ -107,15 +113,32 @@ def save_checkpoint(path: str | os.PathLike, title: str,
 
 def load_checkpoint(path: str | os.PathLike,
                     title: str) -> dict[tuple[str, str, int], float]:
-    """Cells previously checkpointed for *title* ({} if none/missing)."""
+    """Cells previously checkpointed for *title* ({} if none/missing).
+
+    A truncated, corrupt or foreign JSON file is tolerated: the loader
+    warns and returns ``{}`` (resume from scratch) instead of raising —
+    the next :func:`save_checkpoint` atomically replaces the damaged
+    file.  Losing a resume point must never be worse than not having
+    one.
+    """
+    path = os.fspath(path)
     try:
-        payload = _load_checkpoint_payload(os.fspath(path))
+        payload = _load_checkpoint_payload(path)
     except OSError:
         return {}
+    except ValueError as exc:
+        warnings.warn(f"checkpoint {path} is corrupt ({exc}); "
+                      f"resuming from scratch", stacklevel=2)
+        return {}
     out = {}
-    for key, c in payload["checkpoints"].get(title, {}).items():
-        g, v, t = key.split(_SEP, 2)
-        out[(g, v, int(t))] = float("nan") if c is None else float(c)
+    try:
+        for key, c in payload["checkpoints"].get(title, {}).items():
+            g, v, t = key.split(_SEP, 2)
+            out[(g, v, int(t))] = float("nan") if c is None else float(c)
+    except (AttributeError, TypeError, ValueError) as exc:
+        warnings.warn(f"checkpoint {path} has malformed cells ({exc}); "
+                      f"resuming from scratch", stacklevel=2)
+        return {}
     return out
 
 

@@ -119,6 +119,15 @@ class MetricsRegistry:
             c = self._counters[key] = Counter(key)
         return c
 
+    def incr(self, name: str, amount: float = 1.0, **labels) -> None:
+        """Increment ``name``'s labeled counter (created on first use).
+
+        One-call convenience for sites that never hold the counter —
+        e.g. the campaign executor counting
+        ``campaign.cells{status=hit|computed|failed}``.
+        """
+        self.counter(name, **labels).inc(amount)
+
     def snapshot(self) -> dict[str, float]:
         """Current absolute value of every counter (sorted keys)."""
         return {k: self._counters[k].value for k in sorted(self._counters)}

@@ -1,0 +1,99 @@
+"""``repro campaign`` CLI: run/status/cache, warm-store determinism."""
+
+import json
+
+import pytest
+
+from repro.campaign.cli import main
+
+
+SPEC = {"name": "cli-test", "experiment": "coloring",
+        "graphs": ["auto"], "variants": ["OpenMP-dynamic"],
+        "threads": [1, 11], "seeds": [0],
+        "params": {"ordering": "natural"}}
+
+
+@pytest.fixture
+def spec_file(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_FAST", "1")
+    path = tmp_path / "spec.json"
+    path.write_text(json.dumps(SPEC))
+    return path
+
+
+class TestRun:
+    def test_cold_then_warm_is_all_hits_and_byte_identical(
+            self, tmp_path, spec_file, capsys):
+        store = str(tmp_path / "store")
+        args = ["run", str(spec_file), "--store", store, "--quiet",
+                "--retries", "0"]
+        out1, sum1 = tmp_path / "r1.json", tmp_path / "s1.json"
+        out2, sum2 = tmp_path / "r2.json", tmp_path / "s2.json"
+
+        assert main(args + ["--output", str(out1),
+                            "--summary", str(sum1)]) == 0
+        assert main(args + ["--output", str(out2),
+                            "--summary", str(sum2)]) == 0
+
+        s1, s2 = json.loads(sum1.read_text()), json.loads(sum2.read_text())
+        assert s1["computed"] == 2 and s1["hits"] == 0
+        assert s2["hits"] == s2["cells_total"] == 2
+        assert s2["computed"] == 0
+        assert s2["hit_rate"] == 1.0
+        assert out1.read_bytes() == out2.read_bytes()
+
+    def test_results_payload_shape(self, tmp_path, spec_file):
+        out = tmp_path / "r.json"
+        assert main(["run", str(spec_file), "--store",
+                     str(tmp_path / "store"), "--quiet",
+                     "--output", str(out)]) == 0
+        payload = json.loads(out.read_text())
+        assert payload["campaign"] == "cli-test"
+        assert payload["spec"]["experiment"] == "coloring"
+        assert len(payload["results"]) == 2
+        for entry in payload["results"].values():
+            assert entry["cycles"] > 0
+            assert "error" not in entry
+
+    def test_bad_spec_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({**SPEC, "experiment": "nope"}))
+        assert main(["run", str(bad), "--store",
+                     str(tmp_path / "store")]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_missing_spec_exits_2(self, tmp_path, capsys):
+        assert main(["run", str(tmp_path / "none.json"), "--store",
+                     str(tmp_path / "store")]) == 2
+
+
+class TestStatus:
+    def test_pending_then_cached(self, tmp_path, spec_file, capsys):
+        store = str(tmp_path / "store")
+        assert main(["status", str(spec_file), "--store", store]) == 0
+        assert "2 cell(s), 0 cached, 2 pending" in capsys.readouterr().out
+        main(["run", str(spec_file), "--store", store, "--quiet"])
+        capsys.readouterr()
+        assert main(["status", str(spec_file), "--store", store]) == 0
+        assert "2 cached, 0 pending" in capsys.readouterr().out
+
+
+class TestCache:
+    def test_stats_ls_gc_clear(self, tmp_path, spec_file, capsys):
+        store = str(tmp_path / "store")
+        main(["run", str(spec_file), "--store", store, "--quiet"])
+        capsys.readouterr()
+
+        assert main(["cache", "stats", "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "2 object(s)" in out and "2 current" in out
+
+        assert main(["cache", "ls", "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "coloring/auto/OpenMP-dynamic@1" in out
+
+        assert main(["cache", "gc", "--store", store]) == 0
+        assert "removed 0 object(s), kept 2" in capsys.readouterr().out
+
+        assert main(["cache", "clear", "--store", store]) == 0
+        assert "removed 2 object(s)" in capsys.readouterr().out

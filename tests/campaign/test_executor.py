@@ -1,0 +1,205 @@
+"""Parallel executor: parity, retries, store short-circuit, Ctrl-C API."""
+
+import math
+
+import pytest
+
+from repro.campaign.executor import ExecutionReport, default_jobs, execute
+from repro.campaign.store import ResultStore
+
+
+def runner(key):
+    """Deterministic synthetic cell: pure function of its key."""
+    return 1000.0 / key + key * 0.25
+
+
+KEYS = [1, 2, 3, 5, 8, 13]
+
+
+class TestSerial:
+    def test_all_cells_computed(self):
+        report = execute(runner, KEYS, jobs=1)
+        assert report.computed == len(KEYS)
+        assert report.failed == 0 and report.hits == 0
+        assert report.values == {k: runner(k) for k in KEYS}
+        assert not report.interrupted
+
+    def test_on_cell_fires_per_cell(self):
+        seen = []
+        execute(runner, KEYS, jobs=1, on_cell=lambda k, v: seen.append(k))
+        assert seen == KEYS
+
+    def test_empty_keys(self):
+        report = execute(runner, [], jobs=1)
+        assert report.total == 0
+        assert report.hit_rate == 0.0
+
+
+class TestParallelParity:
+    def test_jobs2_bitwise_identical_to_serial(self):
+        serial = execute(runner, KEYS, jobs=1)
+        parallel = execute(runner, KEYS, jobs=2)
+        assert parallel.values == serial.values  # exact float equality
+        assert parallel.computed == serial.computed
+
+    def test_jobs_zero_means_cpu_count(self):
+        report = execute(runner, KEYS, jobs=0)
+        assert report.values == {k: runner(k) for k in KEYS}
+
+    def test_failures_survive_the_pool(self):
+        def flaky(key):
+            if key == 3:
+                raise RuntimeError("injected")
+            return runner(key)
+
+        report = execute(flaky, KEYS, jobs=2)
+        assert math.isnan(report.values[3])
+        assert "injected" in report.errors[3]
+        assert report.failed == 1
+        assert report.computed == len(KEYS) - 1
+
+    def test_pool_on_error_raise_reports_cell(self):
+        def bad(key):
+            raise ValueError("nope")
+
+        with pytest.raises(RuntimeError, match="failed after"):
+            execute(bad, KEYS, jobs=2, on_error="raise")
+
+
+class TestRetries:
+    def test_flaky_cell_recovers(self):
+        attempts = {"n": 0}
+
+        def flaky(key):
+            if key == 2:
+                attempts["n"] += 1
+                if attempts["n"] < 3:
+                    raise OSError("transient")
+            return runner(key)
+
+        report = execute(flaky, KEYS, jobs=1, retries=2)
+        assert report.failed == 0
+        assert attempts["n"] == 3
+
+    def test_budget_spent_records_nan(self):
+        calls = {"n": 0}
+
+        def always(key):
+            calls["n"] += 1
+            raise RuntimeError("always")
+
+        report = execute(always, [7], jobs=1, retries=2)
+        assert calls["n"] == 3
+        assert math.isnan(report.values[7])
+        assert "always" in report.errors[7]
+
+    def test_serial_raise_propagates_original_exception(self):
+        def bad(key):
+            raise KeyError("original")
+
+        with pytest.raises(KeyError, match="original"):
+            execute(bad, [1], jobs=1, on_error="raise")
+
+
+class TestValidation:
+    def test_bad_args(self):
+        with pytest.raises(ValueError, match="retries"):
+            execute(runner, KEYS, retries=-1)
+        with pytest.raises(ValueError, match="on_error"):
+            execute(runner, KEYS, on_error="explode")
+        with pytest.raises(ValueError, match="jobs"):
+            execute(runner, KEYS, jobs=-2)
+
+    def test_default_jobs_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert default_jobs() == 1
+        monkeypatch.setenv("REPRO_JOBS", "4")
+        assert default_jobs() == 4
+        monkeypatch.setenv("REPRO_JOBS", "0")
+        assert default_jobs() >= 1
+        monkeypatch.setenv("REPRO_JOBS", "x")
+        with pytest.raises(ValueError, match="REPRO_JOBS"):
+            default_jobs()
+        monkeypatch.setenv("REPRO_JOBS", "-1")
+        with pytest.raises(ValueError, match=">= 0"):
+            default_jobs()
+
+
+class TestStoreIntegration:
+    def spec_for(self, key):
+        return {"panel": "test", "cell": key}
+
+    def test_second_run_is_all_hits(self, tmp_path):
+        store = ResultStore(tmp_path)
+        first = execute(runner, KEYS, jobs=1, store=store,
+                        spec_for=self.spec_for)
+        assert first.computed == len(KEYS)
+        second = execute(runner, KEYS, jobs=1, store=store,
+                         spec_for=self.spec_for)
+        assert second.hits == len(KEYS)
+        assert second.computed == 0
+        assert second.hit_rate == 1.0
+        assert second.values == first.values
+
+    def test_hits_skip_the_runner(self, tmp_path):
+        store = ResultStore(tmp_path)
+        execute(runner, KEYS, jobs=1, store=store, spec_for=self.spec_for)
+        calls = []
+
+        def spy(key):
+            calls.append(key)
+            return runner(key)
+
+        execute(spy, KEYS, jobs=1, store=store, spec_for=self.spec_for)
+        assert calls == []
+
+    def test_failed_cells_are_not_cached(self, tmp_path):
+        store = ResultStore(tmp_path)
+
+        def flaky(key):
+            if key == 2:
+                raise RuntimeError("boom")
+            return runner(key)
+
+        execute(flaky, KEYS, jobs=1, store=store, spec_for=self.spec_for)
+        second = execute(runner, KEYS, jobs=1, store=store,
+                         spec_for=self.spec_for)
+        assert second.hits == len(KEYS) - 1
+        assert second.computed == 1  # the failed cell is retried
+        assert not math.isnan(second.values[2])
+
+    def test_parallel_run_hits_serial_store(self, tmp_path):
+        store = ResultStore(tmp_path)
+        serial = execute(runner, KEYS, jobs=1, store=store,
+                         spec_for=self.spec_for)
+        warm = execute(runner, KEYS, jobs=2, store=store,
+                       spec_for=self.spec_for)
+        assert warm.hits == len(KEYS)
+        assert warm.values == serial.values
+
+
+class TestTelemetry:
+    def test_cells_counted_by_status(self, tmp_path):
+        from repro.obs.metrics import collecting
+        store = ResultStore(tmp_path)
+        spec_for = lambda k: {"cell": k}  # noqa: E731
+        with collecting() as registry:
+            def flaky(key):
+                if key == 2:
+                    raise RuntimeError("boom")
+                return runner(key)
+            execute(flaky, [1, 2], jobs=1, store=store, spec_for=spec_for,
+                    labels_for=lambda k: {"graph": "g", "variant": "v",
+                                          "threads": k})
+            execute(runner, [1], jobs=1, store=store, spec_for=spec_for)
+        snap = registry.snapshot()
+        assert snap["campaign.cells{status=computed}"] == 1.0
+        assert snap["campaign.cells{status=failed}"] == 1.0
+        assert snap["campaign.cells{status=hit}"] == 1.0
+
+
+class TestReportShape:
+    def test_totals_and_hit_rate(self):
+        r = ExecutionReport(hits=3, computed=6, failed=1)
+        assert r.total == 10
+        assert r.hit_rate == pytest.approx(0.3)

@@ -1,0 +1,149 @@
+"""Content-addressed result store: keys, invalidation, maintenance."""
+
+import os
+
+import pytest
+
+from repro.campaign.store import ResultStore, code_fingerprint
+
+
+SPEC = {"experiment": "coloring", "graph": "auto",
+        "variant": "OpenMP-dynamic", "threads": 11}
+
+
+class TestPutGet:
+    def test_miss_then_hit(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert store.get(SPEC) is None
+        store.put(SPEC, 123.5)
+        assert store.get(SPEC) == 123.5
+        assert store.stats.misses == 1
+        assert store.stats.hits == 1
+        assert store.stats.puts == 1
+
+    def test_different_specs_do_not_collide(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(SPEC, 1.0)
+        store.put({**SPEC, "threads": 31}, 2.0)
+        assert store.get(SPEC) == 1.0
+        assert store.get({**SPEC, "threads": 31}) == 2.0
+
+    def test_key_is_stable_and_fanned_out(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = store.put(SPEC, 1.0)
+        assert key == store.key(SPEC)
+        assert os.path.exists(os.path.join(
+            store.root, "objects", key[:2], f"{key[2:]}.json"))
+
+    def test_contains_does_not_touch_stats(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert not store.contains(SPEC)
+        store.put(SPEC, 1.0)
+        assert store.contains(SPEC)
+        assert store.stats.hits == 0 and store.stats.misses == 0
+
+    def test_nan_is_never_stored(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert store.put(SPEC, float("nan")) is None
+        assert store.put(SPEC, float("inf")) is None
+        assert store.get(SPEC) is None
+        assert store.stats.skipped_nonfinite == 2
+        assert len(store) == 0
+
+    def test_no_tmp_files_left(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(SPEC, 1.0)
+        files = [f for _, _, fns in os.walk(store.root) for f in fns]
+        assert all(f.endswith(".json") for f in files)
+
+    def test_corrupt_object_is_a_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = store.put(SPEC, 1.0)
+        path = os.path.join(store.root, "objects", key[:2],
+                            f"{key[2:]}.json")
+        with open(path, "w") as fh:
+            fh.write("{trunc")
+        assert store.get(SPEC) is None
+        assert store.stats.corrupt == 1
+
+
+class TestFingerprint:
+    def test_fingerprint_memoised_and_short(self):
+        assert code_fingerprint() == code_fingerprint()
+        assert len(code_fingerprint()) == 16
+
+    def test_code_change_invalidates(self, tmp_path):
+        old = ResultStore(tmp_path, fingerprint="aaaa")
+        old.put(SPEC, 1.0)
+        new = ResultStore(tmp_path, fingerprint="bbbb")
+        assert new.get(SPEC) is None  # different key space
+        assert new.key(SPEC) != old.key(SPEC)
+
+    def test_gc_removes_stale_keeps_current(self, tmp_path):
+        old = ResultStore(tmp_path, fingerprint="aaaa")
+        old.put(SPEC, 1.0)
+        new = ResultStore(tmp_path, fingerprint="bbbb")
+        new.put(SPEC, 2.0)
+        removed, kept = new.gc()
+        assert (removed, kept) == (1, 1)
+        assert new.get(SPEC) == 2.0
+
+
+class TestMaintenance:
+    def test_entries_surface(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(SPEC, 7.0)
+        (entry,) = store.entries()
+        assert entry.spec == SPEC
+        assert entry.value == 7.0
+        assert entry.current
+        assert entry.size_bytes > 0
+
+    def test_gc_max_age(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = store.put(SPEC, 1.0)
+        path = os.path.join(store.root, "objects", key[:2],
+                            f"{key[2:]}.json")
+        week_ago = os.stat(path).st_mtime - 7 * 86400
+        os.utime(path, (week_ago, week_ago))
+        assert store.gc(max_age_days=30) == (0, 1)
+        assert store.gc(max_age_days=3) == (1, 0)
+
+    def test_gc_stale_only_ignores_age(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = store.put(SPEC, 1.0)
+        path = os.path.join(store.root, "objects", key[:2],
+                            f"{key[2:]}.json")
+        os.utime(path, (0, 0))
+        assert store.gc(max_age_days=1, stale_only=True) == (0, 1)
+
+    def test_clear(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(SPEC, 1.0)
+        store.put({**SPEC, "threads": 31}, 2.0)
+        assert store.clear() == 2
+        assert len(store) == 0
+        assert os.path.isdir(store.root)
+
+
+class TestRootResolution:
+    def test_env_var_default(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE", str(tmp_path / "envstore"))
+        store = ResultStore()
+        assert store.root == str(tmp_path / "envstore")
+
+    def test_explicit_root_wins(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE", str(tmp_path / "envstore"))
+        store = ResultStore(tmp_path / "explicit")
+        assert store.root == str(tmp_path / "explicit")
+
+    def test_tilde_expanded(self, monkeypatch):
+        monkeypatch.delenv("REPRO_STORE", raising=False)
+        assert "~" not in ResultStore().root
+
+
+@pytest.mark.parametrize("value", [0.5, 1e12])
+def test_value_roundtrips_exactly(tmp_path, value):
+    store = ResultStore(tmp_path)
+    store.put(SPEC, value)
+    assert store.get(SPEC) == value

@@ -276,6 +276,85 @@ class TestCheckpointResume:
         assert path.exists()
 
 
+class TestParallelPanel:
+    def test_jobs2_bitwise_identical_to_serial(self):
+        kw = dict(variants=["fast", "slow"], graphs=["g1", "g2"],
+                  threads=[1, 10])
+        serial = run_panel("p", TestRunPanel.runner, **kw)
+        parallel = run_panel("p", TestRunPanel.runner, jobs=2, **kw)
+        for label in ("fast", "slow"):
+            assert np.array_equal(serial.series[label],
+                                  parallel.series[label])
+        assert serial.baselines == parallel.baselines
+        assert np.array_equal(serial.per_graph[("fast", "g2")],
+                              parallel.per_graph[("fast", "g2")])
+
+    def test_jobs_failures_keep_nan_semantics(self):
+        import math
+
+        def runner(g, v, t):
+            if (g, t) == ("g2", 10):
+                raise RuntimeError("injected")
+            return 1000.0 / t
+
+        panel = run_panel("p", runner, ["A"], graphs=["g1", "g2"],
+                          threads=[1, 10], retries=0, jobs=2)
+        assert list(panel.failures) == [("g2", "A", 10)]
+        assert math.isnan(panel.per_graph[("A", "g2")][1])
+        assert np.allclose(panel.per_graph[("A", "g1")], [1.0, 10.0])
+
+
+class TestStoreBackedPanel:
+    @staticmethod
+    def counting_runner(calls):
+        def runner(g, v, t):
+            calls.append((g, v, t))
+            return 100.0 / t
+
+        return runner
+
+    def test_second_run_recomputes_nothing(self, tmp_path):
+        from repro.campaign.store import ResultStore
+        store = ResultStore(tmp_path)
+        calls = []
+        runner = self.counting_runner(calls)
+        kw = dict(variants=["A"], graphs=["g1"], threads=[1, 10])
+        p1 = run_panel("p", runner, store=store, **kw)
+        cold = len(calls)
+        assert cold == 2
+        p2 = run_panel("p", runner, store=store, **kw)
+        assert len(calls) == cold  # every cell served from the store
+        assert np.array_equal(p1.series["A"], p2.series["A"])
+
+    def test_titles_do_not_collide(self, tmp_path):
+        from repro.campaign.store import ResultStore
+        store = ResultStore(tmp_path)
+        calls = []
+        runner = self.counting_runner(calls)
+        kw = dict(variants=["A"], graphs=["g1"], threads=[1])
+        run_panel("one", runner, store=store, **kw)
+        run_panel("two", runner, store=store, **kw)
+        assert len(calls) == 2  # same coordinates, different panel keys
+
+    def test_store_off_by_default(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_STORE", raising=False)
+        calls = []
+        runner = self.counting_runner(calls)
+        kw = dict(variants=["A"], graphs=["g1"], threads=[1])
+        run_panel("p", runner, **kw)
+        run_panel("p", runner, **kw)
+        assert len(calls) == 2  # no caching without REPRO_STORE/store=
+
+    def test_store_env_var_enables_cache(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE", str(tmp_path / "store"))
+        calls = []
+        runner = self.counting_runner(calls)
+        kw = dict(variants=["A"], graphs=["g1"], threads=[1])
+        run_panel("p", runner, **kw)
+        run_panel("p", runner, **kw)
+        assert len(calls) == 1
+
+
 class TestBaselinePoint:
     def test_zero_point_prepended_and_used(self):
         def runner(g, v, t):

@@ -60,6 +60,27 @@ class TestFailuresRoundTrip:
         del d["failures"]
         assert panel_from_dict(d).failures == {}
 
+    def test_file_roundtrip_with_failures_and_nan(self, tmp_path):
+        """Partial panels (failures + NaN cells) survive a file round-trip."""
+        import math
+        from repro.experiments.harness import geomean
+        p = make_panel()
+        p.series["A"] = np.array([1.0, float("nan"), 70.0])
+        p.per_graph[("A", "g1")] = np.array([1.0, float("nan"), 72.0])
+        p.failures = {("g1", "A", 31): "RuntimeError: boom",
+                      ("g2", "A", 31): "ValueError: bad cell"}
+        path = tmp_path / "partial.json"
+        save_panels(p, path)
+        q = load_panels(path)["demo"]
+        assert q.failures == p.failures
+        assert math.isnan(q.series["A"][1])
+        assert math.isnan(q.per_graph[("A", "g1")][1])
+        assert q.at("A", 121) == pytest.approx(70.0)
+        # geomean over the reloaded per-graph column skips the NaN: the
+        # surviving graph still aggregates.
+        col = [q.per_graph[("A", "g1")][1], q.per_graph[("A", "g2")][1]]
+        assert geomean(col) == pytest.approx(20.0)
+
 
 class TestCheckpoint:
     def test_roundtrip_with_nan(self, tmp_path):
@@ -103,3 +124,27 @@ class TestCheckpoint:
         path = tmp_path / "ck.json"
         save_checkpoint(path, "a", {("g", "v", 1): 1.0})
         assert [f.name for f in tmp_path.iterdir()] == ["ck.json"]
+
+    def test_truncated_checkpoint_warns_and_resumes_empty(self, tmp_path):
+        from repro.experiments.save import load_checkpoint, save_checkpoint
+        path = tmp_path / "ck.json"
+        save_checkpoint(path, "a", {("g", "v", 1): 1.0})
+        path.write_text(path.read_text()[:20])  # simulate a crash mid-copy
+        with pytest.warns(UserWarning, match="corrupt"):
+            assert load_checkpoint(path, "a") == {}
+
+    def test_foreign_json_warns_and_resumes_empty(self, tmp_path):
+        from repro.experiments.save import load_checkpoint
+        path = tmp_path / "ck.json"
+        path.write_text('{"something": "else"}')
+        with pytest.warns(UserWarning, match="corrupt"):
+            assert load_checkpoint(path, "a") == {}
+
+    def test_malformed_cells_warn_and_resume_empty(self, tmp_path):
+        import json
+        from repro.experiments.save import load_checkpoint
+        path = tmp_path / "ck.json"
+        path.write_text(json.dumps(
+            {"checkpoints": {"a": {"no-separators-here": 1.0}}}))
+        with pytest.warns(UserWarning, match="malformed"):
+            assert load_checkpoint(path, "a") == {}
