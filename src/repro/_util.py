@@ -11,7 +11,7 @@ import numpy as np
 
 __all__ = ["rng_from_seed", "check_positive", "check_nonnegative",
            "as_int_array", "atomic_write_text", "canonical_json",
-           "sha256_hex"]
+           "sha256_hex", "env_float"]
 
 
 def canonical_json(obj) -> str:
@@ -54,6 +54,31 @@ def rng_from_seed(seed) -> np.random.Generator:
     if isinstance(seed, np.random.Generator):
         return seed
     return np.random.default_rng(seed)
+
+
+def env_float(name: str, default: float, lo: float | None = None,
+              hi: float | None = None) -> float:
+    """A float from environment variable *name*, range-validated.
+
+    Returns *default* when the variable is unset or empty.  A value that
+    does not parse as a float or falls outside ``[lo, hi]`` raises
+    :class:`ValueError` naming the variable — a silently-ignored typo in
+    a calibration override would corrupt every result derived from it.
+    """
+    raw = os.environ.get(name)
+    if raw is None or raw == "":
+        return default
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ValueError(f"{name} must be a float, got {raw!r}") from None
+    if not np.isfinite(value):
+        raise ValueError(f"{name} must be finite, got {raw!r}")
+    if lo is not None and value < lo:
+        raise ValueError(f"{name} must be >= {lo}, got {value}")
+    if hi is not None and value > hi:
+        raise ValueError(f"{name} must be <= {hi}, got {value}")
+    return value
 
 
 def check_positive(name: str, value) -> None:

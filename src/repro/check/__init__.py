@@ -1,0 +1,35 @@
+"""Dynamic concurrency checking for simulated executions.
+
+``repro.check`` replays a simulated run through shadow state — vector
+clocks per simulated thread, with happens-before edges minted by the
+engine's synchronisation primitives and the runtimes' scheduling
+decisions — and intersects the declared per-chunk memory footprints
+(:class:`repro.kernels.base.AccessSet`) of concurrent chunks to detect
+unsynchronized sharing.  Like :mod:`repro.obs`, it is a pure observer:
+off by default, and perturbing zero simulated cycles when on.
+
+Typical use::
+
+    from repro import check
+
+    with check.checking() as checker:
+        run = simulate_coloring(graph, variant, n_threads, machine)
+    report = checker.finalize()
+    assert report.ok, report.format()
+
+or from the shell: ``repro check --kernel coloring --runtime openmp``.
+"""
+
+from repro.check.checker import (DROP_EDGE_KINDS, Checker, active, checking,
+                                 install, uninstall)
+from repro.check.clocks import VectorClock, ordered_before
+from repro.check.report import (SEV_ERROR, SEV_INFO, SEV_WARNING, BenignTally,
+                                CheckReport, Finding)
+
+__all__ = [
+    "Checker", "active", "install", "uninstall", "checking",
+    "DROP_EDGE_KINDS",
+    "VectorClock", "ordered_before",
+    "Finding", "BenignTally", "CheckReport",
+    "SEV_ERROR", "SEV_WARNING", "SEV_INFO",
+]

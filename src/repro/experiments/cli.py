@@ -71,6 +71,9 @@ def main(argv=None) -> int:
     if argv and argv[0] == "campaign":
         from repro.campaign.cli import main as campaign_main
         return campaign_main(list(argv[1:]))
+    if argv and argv[0] == "check":
+        from repro.check.cli import main as check_main
+        return check_main(list(argv[1:]))
 
     parser = argparse.ArgumentParser(
         prog="repro-experiments",

@@ -5,6 +5,18 @@ module reads/writes the ``matrix coordinate pattern symmetric`` dialect
 (plus ``general`` and value-carrying variants, values ignored) so real UF
 files drop in directly when available, and a whitespace edge-list format
 for quick interchange.
+
+Both readers validate their input and raise :class:`ValueError` naming
+the file (and line, where known) on malformed data: non-integer tokens,
+vertex ids out of range, an entry count that contradicts the declared
+size.  By default (``strict=True``) self-loops and duplicate edges are
+rejected too — in a hand-written experiment graph they are almost always
+typos that would silently shrink the edge count.  Pass ``strict=False``
+for real-world matrices where they are expected (UF matrices carry
+diagonal entries; the loader then drops loops and merges duplicates,
+matching :meth:`CSRGraph.from_edges`).  Mirrored entries (``u v`` and
+``v u``) in a MatrixMarket *general* file are not duplicates — they are
+how that dialect spells an undirected edge.
 """
 
 from __future__ import annotations
@@ -19,8 +31,49 @@ __all__ = ["read_matrix_market", "write_matrix_market", "read_edge_list",
            "write_edge_list", "load_graph"]
 
 
-def read_matrix_market(path: str | os.PathLike, name: str | None = None) -> CSRGraph:
-    """Read a MatrixMarket coordinate file as an undirected pattern graph."""
+def _validate_edges(path: str, n: int, edges: np.ndarray,
+                    strict: bool, ordered_dupes: bool) -> None:
+    """Common malformed-edge checks, errors prefixed with *path*.
+
+    ``ordered_dupes`` selects the duplicate criterion: exact repeated
+    entries (MatrixMarket, where ``u v`` / ``v u`` legitimately mirror
+    one undirected edge) versus duplicates up to direction (edge lists,
+    which store each undirected edge once).
+    """
+    if len(edges) == 0:
+        return
+    if edges.min() < 0 or edges.max() >= n:
+        bad = edges[((edges < 0) | (edges >= n)).any(axis=1)][0]
+        raise ValueError(
+            f"{path}: vertex id out of range: edge ({bad[0]}, {bad[1]}) "
+            f"with {n} vertices declared")
+    if not strict:
+        return
+    loops = edges[:, 0] == edges[:, 1]
+    if loops.any():
+        v = int(edges[loops][0, 0])
+        raise ValueError(
+            f"{path}: self-loop on vertex {v} (pass strict=False to drop "
+            "self-loops, e.g. for UF matrices with diagonal entries)")
+    keyed = edges if ordered_dupes else np.sort(edges, axis=1)
+    uniq, counts = np.unique(keyed, axis=0, return_counts=True)
+    if (counts > 1).any():
+        dup = uniq[counts > 1][0]
+        raise ValueError(
+            f"{path}: duplicate edge ({dup[0]}, {dup[1]}) (pass "
+            "strict=False to merge duplicates)")
+
+
+def read_matrix_market(path: str | os.PathLike, name: str | None = None,
+                       strict: bool = True) -> CSRGraph:
+    """Read a MatrixMarket coordinate file as an undirected pattern graph.
+
+    With ``strict`` (the default) self-loops and exactly-repeated entries
+    raise :class:`ValueError`; ``strict=False`` drops/merges them (the
+    drop-in behaviour for real UF matrices, whose FEM diagonals are
+    stored as self-loops).  Mirrored ``u v`` / ``v u`` entries in a
+    *general* file are always legal — they denote one undirected edge.
+    """
     path = os.fspath(path)
     with open(path, "r", encoding="utf-8") as fh:
         header = fh.readline()
@@ -35,13 +88,28 @@ def read_matrix_market(path: str | os.PathLike, name: str | None = None) -> CSRG
         parts = line.split()
         if len(parts) != 3:
             raise ValueError(f"{path}: malformed size line {line!r}")
-        rows, cols, nnz = (int(p) for p in parts)
+        try:
+            rows, cols, nnz = (int(p) for p in parts)
+        except ValueError:
+            raise ValueError(f"{path}: malformed size line {line!r}") from None
         if rows != cols:
             raise ValueError(f"{path}: matrix is {rows}x{cols}, need square")
-        data = np.loadtxt(fh, ndmin=2, usecols=(0, 1), dtype=np.int64, max_rows=nnz)
+        if rows < 0 or nnz < 0:
+            raise ValueError(f"{path}: negative size line {line!r}")
+        try:
+            data = np.loadtxt(fh, ndmin=2, usecols=(0, 1), dtype=np.int64,
+                              max_rows=nnz)
+        except ValueError as exc:
+            raise ValueError(f"{path}: malformed entry: {exc}") from None
     if data.size == 0:
         data = data.reshape(0, 2)
+    if len(data) != nnz:
+        raise ValueError(f"{path}: header declares {nnz} entries, "
+                         f"file has {len(data)}")
     edges = data - 1  # MatrixMarket is 1-based
+    # Mirrored general-dialect pairs collapse to one undirected edge, so
+    # duplicate detection keys on the *ordered* (as-written) entry.
+    _validate_edges(path, rows, edges, strict, ordered_dupes=True)
     return CSRGraph.from_edges(rows, edges,
                                name=name or os.path.splitext(os.path.basename(path))[0])
 
@@ -58,8 +126,15 @@ def write_matrix_market(graph: CSRGraph, path: str | os.PathLike) -> None:
             fh.write(f"{v + 1} {u + 1}\n")
 
 
-def read_edge_list(path: str | os.PathLike, name: str | None = None) -> CSRGraph:
-    """Read ``u v`` pairs (0-based, ``#`` comments allowed), one per line."""
+def read_edge_list(path: str | os.PathLike, name: str | None = None,
+                   strict: bool = True) -> CSRGraph:
+    """Read ``u v`` pairs (0-based, ``#`` comments allowed), one per line.
+
+    With ``strict`` (the default) negative ids, self-loops and duplicate
+    edges — in either direction, since the format stores each undirected
+    edge once — raise :class:`ValueError` naming the offending line;
+    ``strict=False`` drops loops and merges duplicates instead.
+    """
     path = os.fspath(path)
     edges = []
     n = 0
@@ -71,10 +146,24 @@ def read_edge_list(path: str | os.PathLike, name: str | None = None) -> CSRGraph
             parts = line.split()
             if len(parts) != 2:
                 raise ValueError(f"{path}:{lineno}: expected 'u v', got {line!r}")
-            u, v = int(parts[0]), int(parts[1])
+            try:
+                u, v = int(parts[0]), int(parts[1])
+            except ValueError:
+                raise ValueError(
+                    f"{path}:{lineno}: non-integer vertex id in "
+                    f"{line!r}") from None
+            if u < 0 or v < 0:
+                raise ValueError(
+                    f"{path}:{lineno}: negative vertex id in edge ({u}, {v})")
+            if strict and u == v:
+                raise ValueError(
+                    f"{path}:{lineno}: self-loop on vertex {u} (pass "
+                    "strict=False to drop self-loops)")
             edges.append((u, v))
             n = max(n, u + 1, v + 1)
-    return CSRGraph.from_edges(n, np.asarray(edges, dtype=np.int64).reshape(-1, 2),
+    arr = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+    _validate_edges(path, n, arr, strict, ordered_dupes=False)
+    return CSRGraph.from_edges(n, arr,
                                name=name or os.path.splitext(os.path.basename(path))[0])
 
 
@@ -86,8 +175,9 @@ def write_edge_list(graph: CSRGraph, path: str | os.PathLike) -> None:
             fh.write(f"{u} {v}\n")
 
 
-def load_graph(path: str | os.PathLike, name: str | None = None) -> CSRGraph:
+def load_graph(path: str | os.PathLike, name: str | None = None,
+               strict: bool = True) -> CSRGraph:
     """Dispatch on extension: ``.mtx`` → MatrixMarket, anything else → edge list."""
     if os.fspath(path).endswith(".mtx"):
-        return read_matrix_market(path, name=name)
-    return read_edge_list(path, name=name)
+        return read_matrix_market(path, name=name, strict=strict)
+    return read_edge_list(path, name=name, strict=strict)

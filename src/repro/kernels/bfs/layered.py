@@ -33,7 +33,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.graph.csr import CSRGraph
-from repro.kernels.base import KernelRun, gather_neighbors, wave_partition
+from repro.kernels.base import (AccessSet, KernelRun, gather_neighbors,
+                                wave_partition)
 from repro.machine.cache import access_profile_cached
 from repro.machine.config import KNF, MachineConfig
 from repro.machine.costs import OP, WorkCosts, bfs_scan_costs
@@ -155,7 +156,9 @@ def simulate_bfs(
                             variant, relaxed, block)
         stats = spec.parallel_for(config, n_threads, work,
                                   fork=(level == 1), seed=seed + level,
-                                  faults=faults)
+                                  faults=faults,
+                                  access=_level_access(graph, queue, run.dist,
+                                                       relaxed, n_threads))
         span = stats.span
         if variant == "cilk-bag":
             # Every pennant-node allocation serialises on the µOS heap lock
@@ -190,6 +193,43 @@ def simulate_bfs(
 
     run.n_levels = level - 1
     return run
+
+
+def _level_access(graph: CSRGraph, queue: np.ndarray, dist: np.ndarray,
+                  relaxed: bool, n_threads: int) -> AccessSet:
+    """Footprint of one level's scan: entry ``i`` reads ``dist`` at the
+    neighbours of ``queue[i]`` (the discovery check) and writes ``dist``
+    at the undiscovered ones.
+
+    The closures are evaluated at region end, *before* the semantic
+    replay commits this level's discoveries, so ``dist`` still holds the
+    level-start state the simulated threads actually observed.  Relaxed
+    queues race benignly on those writes (the same vertex can be claimed
+    twice — "unlikely and benign", paper §III-C); locked variants guard
+    the write with the per-vertex lock family, leaving only the
+    check-before-lock read unsynchronised — also benign, the worst case
+    being a wasted lock attempt.
+    """
+
+    def read(lo, hi):
+        entries = queue[lo:hi]
+        verts = entries[entries >= 0]
+        return gather_neighbors(graph.indptr, graph.indices, verts)[0]
+
+    def written(lo, hi):
+        nbrs = read(lo, hi)
+        return nbrs[dist[nbrs] == -1]
+
+    reason = ("relaxed queue insert: a vertex claimed by two threads is "
+              "scanned twice next level, never mislabelled (paper §III-C)"
+              if relaxed else
+              "check-before-lock reads the level without the per-vertex "
+              "lock; losing the check costs one lock attempt (paper §IV-C)")
+    return (AccessSet("bfs-level")
+            .reads("dist", read)
+            .writes("dist", written,
+                    guard=None if relaxed else "bfs-vertex-lock")
+            .benign_race("dist", reason, expect=False))
 
 
 def _fresh_push_counts(indptr, indices, verts, dist) -> np.ndarray:

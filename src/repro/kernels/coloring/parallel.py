@@ -23,8 +23,10 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro._util import env_float
 from repro.graph.csr import CSRGraph
-from repro.kernels.base import KernelRun, gather_neighbors, wave_partition
+from repro.kernels.base import (AccessSet, KernelRun, gather_neighbors,
+                                wave_partition)
 from repro.kernels.coloring.sequential import greedy_coloring
 from repro.machine.cache import access_profile_cached
 from repro.machine.config import KNF, MachineConfig
@@ -32,7 +34,7 @@ from repro.machine.costs import (WorkCosts, coloring_conflict_costs,
                                  coloring_tentative_costs)
 from repro.runtime.base import RuntimeSpec
 
-__all__ = ["ColoringRun", "parallel_coloring"]
+__all__ = ["ColoringRun", "parallel_coloring", "color_race_fraction"]
 
 _BITS = np.uint64(1) << np.arange(64, dtype=np.uint64)
 
@@ -46,6 +48,18 @@ _BITS = np.uint64(1) << np.arange(64, dtype=np.uint64)
 #: unchanged degree, so simultaneously-processed vertices are ~5x more
 #: likely to be adjacent than at paper scale (EXPERIMENTS.md).
 COLOR_RACE_FRACTION = 0.05
+
+
+def color_race_fraction() -> float:
+    """The effective race fraction: :data:`COLOR_RACE_FRACTION`, or the
+    validated ``REPRO_COLOR_RACE_FRACTION`` environment override.
+
+    Read per run (not at import) so a harness can sweep the calibration
+    without reloading the module; values outside ``[0, 1]`` are rejected
+    (a probability).
+    """
+    return env_float("REPRO_COLOR_RACE_FRACTION", COLOR_RACE_FRACTION,
+                     lo=0.0, hi=1.0)
 
 
 @dataclass
@@ -111,6 +125,7 @@ def parallel_coloring(
 
     write_time = np.full(n, -1, dtype=np.int64)
     time_counter = 0
+    race_fraction = color_race_fraction()
 
     visit = np.arange(n, dtype=np.int64)
     tls_entries = graph.max_degree + 1
@@ -119,7 +134,9 @@ def parallel_coloring(
         # --- tentative colouring pass (Algorithm 3) ----------------------
         st1 = spec.parallel_for(config, n_threads, tent_all.take(visit),
                                 tls_entries=tls_entries,
-                                seed=seed + 17 * run.rounds, faults=faults)
+                                seed=seed + 17 * run.rounds, faults=faults,
+                                access=_tentative_access(graph, visit,
+                                                         n_threads))
         run.add_loop(st1)
         if n_threads == 1:
             greedy_coloring(graph, order=visit, colors=run.colors)
@@ -130,11 +147,12 @@ def parallel_coloring(
 
         # --- conflict detection pass (Algorithm 4) -----------------------
         st2 = spec.parallel_for(config, n_threads, conf_all.take(visit),
-                                seed=seed + 17 * run.rounds + 1, faults=faults)
+                                seed=seed + 17 * run.rounds + 1, faults=faults,
+                                access=_conflict_access(graph, visit))
         run.add_loop(st2)
         rng = np.random.default_rng((seed + 3) * 99_991 + run.rounds)
         conflicts = _detect_conflicts(graph, visit, run.colors, write_time,
-                                      rng, COLOR_RACE_FRACTION)
+                                      rng, race_fraction)
         run.conflicts_per_round.append(len(conflicts))
         visit = conflicts
         run.rounds += 1
@@ -143,6 +161,49 @@ def parallel_coloring(
         raise RuntimeError(f"colouring did not converge in {max_rounds} rounds")
     run.n_colors = int(run.colors.max()) if n else 0
     return run
+
+
+def _tentative_access(graph: CSRGraph, visit: np.ndarray,
+                      n_threads: int) -> AccessSet:
+    """Footprint of one tentative pass: item ``i`` writes
+    ``colors[visit[i]]`` and reads the colours of its neighbours.
+
+    Concurrent chunks genuinely race on ``colors`` — a vertex may miss a
+    neighbour's simultaneous commit.  That is the speculation the
+    algorithm is built on (conflicts are detected and repaired), so the
+    race is annotated benign and *expected* whenever more than one
+    thread runs; the conflict pass carries no annotation, so losing the
+    inter-pass join surfaces as a hard error.
+    """
+
+    def written(lo, hi):
+        return visit[lo:hi]
+
+    def read(lo, hi):
+        return gather_neighbors(graph.indptr, graph.indices, visit[lo:hi])[0]
+
+    return (AccessSet("coloring-tentative")
+            .writes("colors", written)
+            .reads("colors", read)
+            .benign_race("colors",
+                         "speculative colouring tolerates same-instant "
+                         "adjacent commits; the conflict pass repairs them "
+                         "(Gebremedhin-Manne, paper Alg. 2-4)",
+                         expect=n_threads > 1 and len(visit) > 1))
+
+
+def _conflict_access(graph: CSRGraph, visit: np.ndarray) -> AccessSet:
+    """Footprint of one conflict-detection pass: pure reads of ``colors``
+    (own vertex and neighbours).  Deliberately *not* annotated: these
+    reads must happen-after every tentative write of the round, which
+    only the region join guarantees."""
+
+    def read(lo, hi):
+        verts = visit[lo:hi]
+        nbrs = gather_neighbors(graph.indptr, graph.indices, verts)[0]
+        return np.concatenate([verts, nbrs])
+
+    return AccessSet("coloring-conflict").reads("colors", read)
 
 
 def _replay_tentative(graph, visit, colors, chunks, n_threads,

@@ -161,12 +161,16 @@ class RuntimeSpec:
     def parallel_for(self, config: MachineConfig, n_threads: int,
                      work: WorkCosts, *, tls_entries: int = 0,
                      fork: bool = True, seed: int = 0,
-                     faults=None) -> LoopStats:
+                     faults=None, access=None) -> LoopStats:
         """Run one simulated parallel loop; returns its :class:`LoopStats`.
 
         ``faults`` is an optional
         :class:`~repro.sim.faults.FaultInjector`; pass the same instance
         to every loop of a kernel so fault windows span the whole run.
+        ``access`` is an optional :class:`~repro.kernels.base.AccessSet`
+        declaring the loop's per-chunk memory footprint for the
+        concurrency checker (:mod:`repro.check`); it is ignored when no
+        checker is installed.
         """
         from repro.runtime.openmp import openmp_parallel_for
         from repro.runtime.cilk import cilk_parallel_for
@@ -176,16 +180,16 @@ class RuntimeSpec:
             return openmp_parallel_for(config, n_threads, work,
                                        schedule=self.schedule, chunk=self.chunk,
                                        tls_entries=tls_entries, fork=fork,
-                                       faults=faults)
+                                       faults=faults, access=access)
         if self.model is ProgrammingModel.CILK:
             return cilk_parallel_for(config, n_threads, work, grain=self.chunk,
                                      tls_mode=self.tls_mode,
                                      tls_entries=tls_entries, fork=fork,
-                                     seed=seed, faults=faults)
+                                     seed=seed, faults=faults, access=access)
         return tbb_parallel_for(config, n_threads, work,
                                 partitioner=self.partitioner, chunk=self.chunk,
                                 tls_entries=tls_entries, fork=fork, seed=seed,
-                                faults=faults)
+                                faults=faults, access=access)
 
 
 @dataclass
@@ -206,6 +210,7 @@ class LoopContext:
     work: WorkCosts
     stats: LoopStats = field(default_factory=LoopStats)
     faults: object = None
+    access: object = None  # AccessSet for the checker, or None
 
     def __post_init__(self):
         max_events, max_time = _watchdog_budgets()
@@ -215,9 +220,11 @@ class LoopContext:
                                cost_fn=self.config.barrier_cost)
         self.procs: dict[int, object] = {}
         self.label = ""
-        # Telemetry (repro.obs): both handles captured once per loop and
-        # null-checked per use, so uninstrumented runs pay nothing more.
+        # Telemetry (repro.obs) and checking (repro.check): handles
+        # captured once per loop and null-checked per use, so
+        # uninstrumented runs pay nothing more.
         self.trace = self.engine.trace
+        self.check = self.engine.check
         self._post_run: list[Callable] = []
 
     def post_run(self, hook: Callable) -> None:
@@ -237,6 +244,8 @@ class LoopContext:
         if self.trace is not None:
             self.trace.begin(f"loop:{prefix}", PID_ENGINE, 0, 0.0,
                              threads=self.n_threads, items=len(self.work))
+        if self.check is not None:
+            self.check.begin_loop(prefix, self.n_threads, self.access)
         for tid in range(self.n_threads):
             self.procs[tid] = self.engine.spawn(body(tid),
                                                 name=f"{prefix}-w{tid}",
@@ -287,6 +296,8 @@ class LoopContext:
         if self.trace is not None:
             self.trace.span("chunk", PID_THREADS, tid, start, self.engine.now,
                             lo=lo, hi=hi)
+        if self.check is not None:
+            self.check.on_chunk(tid, lo, hi, start, self.engine.now)
 
     def init_tls(self, tid: int, tls_entries: int, lazy: bool):
         """Generator fragment: pay a thread's scratch-state first touch.
@@ -302,6 +313,8 @@ class LoopContext:
             if self.trace is not None:
                 self.trace.span("tls-init", PID_THREADS, tid, self.engine.now,
                                 self.engine.now + cycles, lazy=lazy)
+            if self.check is not None:
+                self.check.on_tls(tid)
             yield cycles
 
     def tls_first_touch_cycles(self, tls_entries: int, lazy: bool) -> float:
@@ -331,6 +344,8 @@ class LoopContext:
             self.faults.end_loop(self.stats.span)
         for hook in self._post_run:
             hook()
+        if self.check is not None:
+            self.check.end_loop(self.stats.span)
         if self.trace is not None:
             self.trace.end(f"loop:{self.label}", PID_ENGINE, 0, end)
             self.trace.advance(self.stats.span)

@@ -33,11 +33,12 @@ def cilk_parallel_for(
     fork: bool = True,
     seed: int = 0,
     faults=None,
+    access=None,
 ) -> LoopStats:
     """Simulate a ``cilk_for`` over *work* with the given grain size."""
     if grain < 1:
         raise ValueError(f"grain must be >= 1, got {grain}")
-    ctx = LoopContext(config, n_threads, work, faults=faults)
+    ctx = LoopContext(config, n_threads, work, faults=faults, access=access)
     run_work_stealing(
         ctx,
         split_threshold=grain,

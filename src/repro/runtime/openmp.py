@@ -38,11 +38,12 @@ def openmp_parallel_for(
     tls_entries: int = 0,
     fork: bool = True,
     faults=None,
+    access=None,
 ) -> LoopStats:
     """Simulate ``#pragma omp parallel for schedule(...)`` over *work*."""
     if chunk < 1:
         raise ValueError(f"chunk must be >= 1, got {chunk}")
-    ctx = LoopContext(config, n_threads, work, faults=faults)
+    ctx = LoopContext(config, n_threads, work, faults=faults, access=access)
 
     if schedule is Schedule.STATIC:
         _spawn_static(ctx, chunk, tls_entries)
@@ -114,7 +115,7 @@ def _spawn_shared_counter(ctx: LoopContext, chunk: int, tls_entries: int,
             # A killed thread dies before fetching, so no granted chunk
             # is ever lost — survivors drain the shared counter.
             ctx.fault_point(tid)
-            done = counter.rmw(ctx.engine.now)
+            done = counter.rmw(ctx.engine.now, tid=tid)
             yield done - ctx.engine.now
             lo = cursor[0]
             if lo >= n:

@@ -84,9 +84,9 @@ def run_work_stealing(
     # count rather than to idle time.
     signal = [Condition(ctx.engine)]
 
-    def notify():
+    def notify(wid: int):
         fired, signal[0] = signal[0], Condition(ctx.engine)
-        fired.fire()
+        fired.fire(tid=wid)
 
     # Telemetry (repro.obs): captured once per loop, null-checked per use.
     registry = _obs_metrics.active()
@@ -104,14 +104,18 @@ def run_work_stealing(
             ctx.fault_point(wid)
             if my:
                 lo, hi = my.pop()
+                if ctx.check is not None:
+                    ctx.check.on_pop(wid)
                 while hi - lo > split_threshold:
                     mid = (lo + hi) // 2
                     was_empty = not my
                     my.append((mid, hi))
+                    if ctx.check is not None:
+                        ctx.check.on_push(wid)
                     ctx.stats.tasks_spawned += 1
                     ctx.stats.sched_cycles += task_cycles
                     if was_empty:
-                        notify()
+                        notify(wid)
                     yield task_cycles
                     hi = mid
                 if tls_entries and lazy_tls and not tls_done:
@@ -124,7 +128,7 @@ def run_work_stealing(
                 yield from ctx.execute_chunk(wid, lo, hi)
                 remaining[0] -= hi - lo
                 if remaining[0] <= 0:
-                    notify()
+                    notify(wid)
                 continue
             if remaining[0] <= 0:
                 break
@@ -138,13 +142,15 @@ def run_work_stealing(
                     was_empty = not my
                     my.append(deques[victim].popleft())
                     ctx.stats.steals += 1
+                    if ctx.check is not None:
+                        ctx.check.on_steal(wid, victim)
                     if registry is not None:
                         registry.counter("steals", victim=str(victim)).inc(1)
                     if ctx.trace is not None:
                         ctx.trace.instant("steal", PID_THREADS, wid,
                                           ctx.engine.now, victim=victim)
                     if was_empty and len(my) > 1:
-                        notify()
+                        notify(wid)
                 else:
                     ctx.stats.failed_steals += 1
                     if registry is not None:
@@ -157,3 +163,9 @@ def run_work_stealing(
         yield from ctx.join(wid)
 
     ctx.spawn_workers(body, prefix)
+    if ctx.check is not None:
+        # Mirror the initial deal into the checker's shadow deques (the
+        # deques are only consumed once the engine runs, so order holds).
+        for w, dq in enumerate(deques):
+            for _ in dq:
+                ctx.check.on_deal(w)

@@ -45,12 +45,13 @@ def tbb_parallel_for(
     fork: bool = True,
     seed: int = 0,
     faults=None,
+    access=None,
 ) -> LoopStats:
     """Simulate ``tbb::parallel_for(blocked_range(0, n, chunk), body, p)``."""
     if chunk < 1:
         raise ValueError(f"chunk must be >= 1, got {chunk}")
     n = len(work)
-    ctx = LoopContext(config, n_threads, work, faults=faults)
+    ctx = LoopContext(config, n_threads, work, faults=faults, access=access)
     task_cycles = config.spawn_cycles * TASK_OVERHEAD_FACTOR
 
     prefix = f"tbb-{partitioner.value}"

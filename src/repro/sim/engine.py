@@ -35,6 +35,7 @@ import heapq
 from itertools import count
 from typing import Callable, Generator
 
+from repro.check import checker as _check
 from repro.obs import tracer as _obs_tracer
 from repro.obs.tracer import PID_ENGINE, PID_THREADS
 
@@ -113,8 +114,10 @@ class Engine:
         self.max_events = max_events
         self.max_time = max_time
         self.events_processed = 0
-        # Telemetry (repro.obs): captured once here, null-checked per use.
+        # Telemetry (repro.obs) and concurrency checking (repro.check):
+        # captured once here, null-checked per use.
         self.trace = _obs_tracer.active()
+        self.check = _check.active()
 
     @property
     def now(self) -> float:
@@ -217,6 +220,8 @@ class Process:
         trace = self.engine.trace
         if trace is not None and self.tid is not None and killed:
             trace.instant("killed", PID_THREADS, self.tid, self.engine.now)
+        if killed and self.engine.check is not None:
+            self.engine.check.on_kill(self.tid)
 
     def _step(self) -> None:
         self.waiting_on = None
@@ -287,6 +292,9 @@ class Barrier:
                     trace.end("barrier-wait", PID_THREADS, p.tid,
                               self.engine.now + release_delay)
                 self.engine.schedule(release_delay, p._step)
+            if self.engine.check is not None:
+                tids = [p.tid for p in waiting if p.tid is not None]
+                self.engine.check.on_barrier(self, tids, self.engine.now)
 
 
 class Condition:
@@ -306,6 +314,8 @@ class Condition:
 
     def _block(self, proc: Process) -> None:
         if self.fired:
+            if self.engine.check is not None:
+                self.engine.check.on_cond_wake(self, proc.tid)
             self.engine.schedule(0.0, proc._step)
         else:
             proc.waiting_on = self
@@ -315,12 +325,22 @@ class Condition:
                 trace.begin("cond-wait", PID_THREADS, proc.tid,
                             self.engine.now)
 
-    def fire(self) -> None:
-        """Wake all current and future waiters."""
+    def fire(self, tid: int | None = None) -> None:
+        """Wake all current and future waiters.
+
+        ``tid`` identifies the firing thread so the checker can mint a
+        happens-before edge from the firer to every (current and future)
+        waiter; it has no effect on the simulation itself.
+        """
         self.fired = True
         waiting, self._waiting = self._waiting, []
         trace = self.engine.trace
+        check = self.engine.check
+        if check is not None:
+            check.on_cond_fire(self, tid)
         for p in waiting:
             if trace is not None and p.tid is not None:
                 trace.end("cond-wait", PID_THREADS, p.tid, self.engine.now)
+            if check is not None:
+                check.on_cond_wake(self, p.tid)
             self.engine.schedule(0.0, p._step)

@@ -21,6 +21,7 @@ single ``is not None`` test.
 
 from __future__ import annotations
 
+from repro.check import checker as _check
 from repro.obs import tracer as _obs_tracer
 from repro.obs.tracer import PID_RESOURCES
 
@@ -44,9 +45,15 @@ class AtomicVar:
         self.operations = 0
         self.wait_cycles = 0.0
         self._trace = _obs_tracer.active()
+        self._check = _check.active()
 
-    def rmw(self, now: float) -> float:
-        """Perform one RMW issued at *now*; returns its completion time."""
+    def rmw(self, now: float, tid: int | None = None) -> float:
+        """Perform one RMW issued at *now*; returns its completion time.
+
+        ``tid`` identifies the issuing simulated thread for the
+        concurrency checker (acquire/release edge through the variable);
+        it does not affect timing.
+        """
         start = max(now, self._next_free)
         self.wait_cycles += start - now
         done = start + self.latency
@@ -55,6 +62,8 @@ class AtomicVar:
         if self._trace is not None:
             self._trace.span("rmw", PID_RESOURCES, self.label, start, done,
                              wait=start - now)
+        if self._check is not None:
+            self._check.on_rmw(self, tid)
         return done
 
 
@@ -74,9 +83,16 @@ class TicketLock:
         self.acquisitions = 0
         self.wait_cycles = 0.0
         self._trace = _obs_tracer.active()
+        self._check = _check.active()
 
-    def acquire(self, now: float, hold: float = 0.0) -> float:
-        """Acquire at *now*, hold for *hold* cycles; returns release time."""
+    def acquire(self, now: float, hold: float = 0.0,
+                tid: int | None = None) -> float:
+        """Acquire at *now*, hold for *hold* cycles; returns release time.
+
+        ``tid`` identifies the acquiring simulated thread for the
+        concurrency checker (lockset membership and lock-order tracking);
+        it does not affect timing.
+        """
         if hold < 0:
             raise ValueError(f"hold must be >= 0, got {hold}")
         start = max(now, self._next_free)
@@ -87,6 +103,8 @@ class TicketLock:
         if self._trace is not None:
             self._trace.span("lock", PID_RESOURCES, self.label, start, done,
                              wait=start - now)
+        if self._check is not None:
+            self._check.on_lock(self, tid, start, done)
         return done
 
 

@@ -81,6 +81,115 @@ class TestEdgeList:
             read_edge_list(path)
 
 
+class TestMatrixMarketMalformed:
+    """Strict-mode validation of malformed MatrixMarket input."""
+
+    def _mtx(self, tmp_path, body, header="pattern general"):
+        path = tmp_path / "m.mtx"
+        path.write_text(f"%%MatrixMarket matrix coordinate {header}\n{body}")
+        return path
+
+    def test_rejects_non_integer_size_line(self, tmp_path):
+        path = self._mtx(tmp_path, "three 3 1\n1 2\n")
+        with pytest.raises(ValueError, match="size line"):
+            read_matrix_market(path)
+
+    def test_rejects_negative_size(self, tmp_path):
+        path = self._mtx(tmp_path, "-3 -3 1\n1 2\n")
+        with pytest.raises(ValueError, match="negative"):
+            read_matrix_market(path)
+
+    def test_rejects_non_integer_entry(self, tmp_path):
+        path = self._mtx(tmp_path, "3 3 1\n1 x\n")
+        with pytest.raises(ValueError, match="malformed entry"):
+            read_matrix_market(path)
+
+    def test_rejects_nnz_mismatch(self, tmp_path):
+        path = self._mtx(tmp_path, "3 3 5\n1 2\n2 3\n")
+        with pytest.raises(ValueError, match="declares 5"):
+            read_matrix_market(path)
+
+    def test_rejects_out_of_range_id(self, tmp_path):
+        path = self._mtx(tmp_path, "3 3 1\n1 9\n")
+        with pytest.raises(ValueError, match="out of range"):
+            read_matrix_market(path)
+
+    def test_rejects_self_loop_strict(self, tmp_path):
+        path = self._mtx(tmp_path, "3 3 2\n1 2\n2 2\n")
+        with pytest.raises(ValueError, match="self-loop"):
+            read_matrix_market(path)
+
+    def test_drops_self_loop_lenient(self, tmp_path):
+        path = self._mtx(tmp_path, "3 3 2\n1 2\n2 2\n")
+        g = read_matrix_market(path, strict=False)
+        assert g.n_edges == 1
+
+    def test_rejects_exact_duplicate_strict(self, tmp_path):
+        path = self._mtx(tmp_path, "3 3 2\n1 2\n1 2\n")
+        with pytest.raises(ValueError, match="duplicate"):
+            read_matrix_market(path)
+
+    def test_merges_duplicate_lenient(self, tmp_path):
+        path = self._mtx(tmp_path, "3 3 2\n1 2\n1 2\n")
+        assert read_matrix_market(path, strict=False).n_edges == 1
+
+    def test_mirrored_pair_is_not_a_duplicate(self, tmp_path):
+        # 'u v' + 'v u' is how the general dialect spells one undirected
+        # edge — strict mode must accept it.
+        path = self._mtx(tmp_path, "3 3 2\n1 2\n2 1\n")
+        g = read_matrix_market(path)
+        assert g.n_edges == 1 and g.has_edge(0, 1)
+
+
+class TestEdgeListMalformed:
+    """Strict-mode validation of malformed edge-list input."""
+
+    def _edges(self, tmp_path, body):
+        path = tmp_path / "m.edges"
+        path.write_text(body)
+        return path
+
+    def test_rejects_non_integer_token_with_line_number(self, tmp_path):
+        path = self._edges(tmp_path, "0 1\nx 2\n")
+        with pytest.raises(ValueError, match=r"\.edges:2.*non-integer"):
+            read_edge_list(path)
+
+    def test_rejects_negative_id_with_line_number(self, tmp_path):
+        path = self._edges(tmp_path, "0 1\n-1 2\n")
+        with pytest.raises(ValueError, match=r"\.edges:2.*negative"):
+            read_edge_list(path)
+
+    def test_rejects_self_loop_strict(self, tmp_path):
+        path = self._edges(tmp_path, "0 1\n2 2\n")
+        with pytest.raises(ValueError, match=r"\.edges:2.*self-loop"):
+            read_edge_list(path)
+
+    def test_drops_self_loop_lenient(self, tmp_path):
+        g = read_edge_list(self._edges(tmp_path, "0 1\n2 2\n"), strict=False)
+        assert g.n_edges == 1 and g.n_vertices == 3
+
+    def test_rejects_duplicate_strict(self, tmp_path):
+        path = self._edges(tmp_path, "0 1\n2 1\n0 1\n")
+        with pytest.raises(ValueError, match="duplicate"):
+            read_edge_list(path)
+
+    def test_rejects_reversed_duplicate_strict(self, tmp_path):
+        # Edge lists store each undirected edge once, so '1 0' after
+        # '0 1' is a duplicate (unlike the MatrixMarket general dialect).
+        path = self._edges(tmp_path, "0 1\n1 0\n")
+        with pytest.raises(ValueError, match="duplicate"):
+            read_edge_list(path)
+
+    def test_merges_duplicates_lenient(self, tmp_path):
+        g = read_edge_list(self._edges(tmp_path, "0 1\n1 0\n0 1\n"),
+                           strict=False)
+        assert g.n_edges == 1
+
+    def test_empty_file_gives_empty_graph(self, tmp_path):
+        g = read_edge_list(self._edges(tmp_path, "# nothing here\n"))
+        assert g.n_vertices == 0 and g.n_edges == 0
+
+
 class TestLoadGraph:
     def test_dispatch_by_extension(self, tmp_path):
         g = grid2d(3, 4)
@@ -88,3 +197,10 @@ class TestLoadGraph:
         write_edge_list(g, tmp_path / "a.edges")
         assert load_graph(tmp_path / "a.mtx").structurally_equal(g)
         assert load_graph(tmp_path / "a.edges").structurally_equal(g)
+
+    def test_strict_flag_threaded_through(self, tmp_path):
+        (tmp_path / "l.edges").write_text("0 0\n0 1\n")
+        with pytest.raises(ValueError, match="self-loop"):
+            load_graph(tmp_path / "l.edges")
+        g = load_graph(tmp_path / "l.edges", strict=False)
+        assert g.n_edges == 1

@@ -1,0 +1,156 @@
+"""Validators on adversarial inputs: degenerate graphs, corrupted arrays.
+
+The BFS/colouring validators are the last line of defence for every
+kernel and checker test — if they accept garbage, nothing downstream can
+be trusted.  This exercises them on the degenerate shapes (empty graph,
+isolated vertices, stars) and the corruption patterns (off-by-one
+levels, skipped parents, truncated arrays) that a buggy parallel run
+would actually produce.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import chain, complete, star
+from repro.kernels.bfs.validate import BfsValidationError, validate_bfs
+from repro.kernels.coloring.verify import count_conflicts, verify_coloring
+
+
+def _empty(n=0):
+    return CSRGraph.from_edges(n, np.empty((0, 2), dtype=np.int64),
+                               name=f"empty{n}")
+
+
+# --- coloring: degenerate graphs -----------------------------------------
+
+def test_empty_graph_vacuously_colored():
+    g = _empty(0)
+    assert verify_coloring(g, np.array([], dtype=np.int64))
+    assert count_conflicts(g, np.array([], dtype=np.int64)) == 0
+
+
+def test_single_vertex_one_color():
+    g = _empty(1)
+    assert verify_coloring(g, np.array([1]))
+    assert not verify_coloring(g, np.array([0]))  # uncoloured
+
+
+def test_isolated_vertices_need_colors_but_never_conflict():
+    g = _empty(5)
+    assert verify_coloring(g, np.ones(5, dtype=np.int64))
+    # Any assignment is conflict-free, but 0 means "uncoloured".
+    assert not verify_coloring(g, np.array([1, 1, 0, 1, 1]))
+    assert verify_coloring(g, np.array([1, 1, 0, 1, 1]),
+                           require_complete=False)
+
+
+def test_star_two_colors_suffice():
+    g = star(8)  # hub 0, leaves 1..7
+    colors = np.full(8, 2, dtype=np.int64)
+    colors[0] = 1
+    assert verify_coloring(g, colors)
+    # Hub sharing any leaf's colour breaks every incident edge at once.
+    colors[0] = 2
+    assert not verify_coloring(g, colors)
+    assert count_conflicts(g, colors) == 7
+
+
+def test_corrupted_single_entry_detected():
+    g = complete(6)
+    colors = np.arange(1, 7, dtype=np.int64)
+    assert verify_coloring(g, colors)
+    colors[3] = colors[0]
+    assert not verify_coloring(g, colors)
+    assert count_conflicts(g, colors) == 1
+
+
+def test_wrong_length_rejected():
+    g = chain(4)
+    assert not verify_coloring(g, np.array([1, 2, 1]))
+    with pytest.raises(ValueError, match="length"):
+        count_conflicts(g, np.array([1, 2, 1]))
+
+
+# --- BFS: degenerate graphs ----------------------------------------------
+
+def test_bfs_single_vertex():
+    g = _empty(1)
+    assert validate_bfs(g, 0, np.array([0]))
+    with pytest.raises(BfsValidationError):
+        validate_bfs(g, 0, np.array([1]))
+
+
+def test_bfs_isolated_source_leaves_rest_unreached():
+    g = _empty(4)
+    dist = np.array([-1, 0, -1, -1])
+    assert validate_bfs(g, 1, dist)
+    # Labelling an unreachable vertex must fail (it has no parent).
+    bad = dist.copy()
+    bad[3] = 1
+    assert not validate_bfs(g, 1, bad, raise_on_error=False)
+
+
+def test_bfs_star_from_hub_and_leaf():
+    g = star(6)
+    hub = np.array([0, 1, 1, 1, 1, 1])
+    assert validate_bfs(g, 0, hub)
+    leaf = np.array([1, 0, 2, 2, 2, 2])
+    assert validate_bfs(g, 1, leaf)
+
+
+def test_bfs_source_out_of_range():
+    with pytest.raises(BfsValidationError, match="out of range"):
+        validate_bfs(chain(3), 7, np.zeros(3, dtype=np.int64))
+
+
+# --- BFS: corrupted labellings -------------------------------------------
+
+def test_bfs_wrong_source_distance():
+    g = chain(3)
+    with pytest.raises(BfsValidationError, match="source"):
+        validate_bfs(g, 0, np.array([1, 1, 2]))
+
+
+def test_bfs_two_roots_rejected():
+    g = _empty(2)
+    with pytest.raises(BfsValidationError, match="distance 0"):
+        validate_bfs(g, 0, np.array([0, 0]))
+
+
+def test_bfs_level_skip_rejected():
+    g = chain(4)
+    with pytest.raises(BfsValidationError, match="spans more than one"):
+        validate_bfs(g, 0, np.array([0, 1, 3, 4]))
+
+
+def test_bfs_orphan_level_rejected():
+    # Every edge spans <= 1 level, yet vertex 2 (distance 1) has no
+    # neighbour one level closer: only the missing-parent rule sees it.
+    g = chain(3)
+    with pytest.raises(BfsValidationError, match="parent"):
+        validate_bfs(g, 0, np.array([0, 1, 1]))
+
+
+def test_bfs_unreached_neighbour_of_labelled_rejected():
+    g = chain(3)
+    with pytest.raises(BfsValidationError, match="unlabelled"):
+        validate_bfs(g, 0, np.array([0, 1, -1]))
+
+
+def test_bfs_negative_garbage_rejected():
+    g = chain(3)
+    with pytest.raises(BfsValidationError, match="below -1"):
+        validate_bfs(g, 0, np.array([0, -3, 1]))
+
+
+def test_bfs_truncated_array_rejected():
+    g = chain(4)
+    with pytest.raises(BfsValidationError, match="length"):
+        validate_bfs(g, 0, np.array([0, 1, 2]))
+
+
+def test_bfs_raise_on_error_false_returns_false():
+    g = chain(3)
+    assert validate_bfs(g, 0, np.array([0, 2, 1]),
+                        raise_on_error=False) is False
