@@ -1,5 +1,17 @@
 """Small shared helpers: seeded RNG construction, argument validation,
-crash-safe file writes, and canonical hashing."""
+crash-safe file writes, canonical hashing, and the validated environment
+parsers.
+
+Every ``REPRO_*`` environment variable in the codebase is read through
+one of the ``env_*`` parsers below (``env_float``, ``env_int``,
+``env_bool``, ``env_str``, ``env_csv``).  This is enforced statically by
+the ``env-raw-read`` rule of :mod:`repro.lint`: a raw ``os.environ``
+read of a ``REPRO_*`` name anywhere else fails ``repro lint``.  The
+parsers validate eagerly and raise :class:`ValueError` naming the
+variable — a silently-ignored typo in an override would corrupt every
+result derived from it — and give the lint pass a single choke point
+from which to build the env-var registry behind ``ENV.md``.
+"""
 
 from __future__ import annotations
 
@@ -8,13 +20,15 @@ import json
 import os
 
 import numpy as np
+from numpy.typing import NDArray
 
 __all__ = ["rng_from_seed", "check_positive", "check_nonnegative",
            "as_int_array", "atomic_write_text", "canonical_json",
-           "sha256_hex", "env_float"]
+           "sha256_hex", "env_float", "env_int", "env_bool", "env_str",
+           "env_csv"]
 
 
-def canonical_json(obj) -> str:
+def canonical_json(obj: object) -> str:
     """Canonical JSON text for *obj*: sorted keys, compact separators.
 
     Two structurally equal dicts always render to the same bytes, which
@@ -32,7 +46,7 @@ def sha256_hex(text: str) -> str:
     return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
 
-def atomic_write_text(path: str | os.PathLike, text: str) -> None:
+def atomic_write_text(path: str | os.PathLike[str], text: str) -> None:
     """Write *text* to *path* atomically (tmp file + ``os.replace``).
 
     Used for every persisted artifact (checkpoints, metrics dumps,
@@ -45,7 +59,8 @@ def atomic_write_text(path: str | os.PathLike, text: str) -> None:
     os.replace(tmp, path)
 
 
-def rng_from_seed(seed) -> np.random.Generator:
+def rng_from_seed(
+        seed: int | np.random.Generator | None) -> np.random.Generator:
     """Return a :class:`numpy.random.Generator` for *seed*.
 
     Accepts ``None`` (non-deterministic), an ``int``, or an existing
@@ -56,17 +71,30 @@ def rng_from_seed(seed) -> np.random.Generator:
     return np.random.default_rng(seed)
 
 
-def env_float(name: str, default: float, lo: float | None = None,
-              hi: float | None = None) -> float:
+def _env_raw(name: str) -> str | None:
+    """The stripped value of *name*; None when unset or blank.
+
+    Unset, empty, and whitespace-only all mean "use the default" — a
+    stray ``VAR=" "`` in a shell script must not differ from ``VAR=""``.
+    """
+    raw = os.environ.get(name)
+    if raw is None:
+        return None
+    raw = raw.strip()
+    return raw if raw else None
+
+
+def env_float(name: str, default: float | None = None,
+              lo: float | None = None,
+              hi: float | None = None) -> float | None:
     """A float from environment variable *name*, range-validated.
 
     Returns *default* when the variable is unset or empty.  A value that
     does not parse as a float or falls outside ``[lo, hi]`` raises
-    :class:`ValueError` naming the variable — a silently-ignored typo in
-    a calibration override would corrupt every result derived from it.
+    :class:`ValueError` naming the variable.
     """
-    raw = os.environ.get(name)
-    if raw is None or raw == "":
+    raw = _env_raw(name)
+    if raw is None:
         return default
     try:
         value = float(raw)
@@ -81,19 +109,97 @@ def env_float(name: str, default: float, lo: float | None = None,
     return value
 
 
-def check_positive(name: str, value) -> None:
+def env_int(name: str, default: int | None = None, lo: int | None = None,
+            hi: int | None = None) -> int | None:
+    """An integer from environment variable *name*, range-validated.
+
+    Returns *default* when the variable is unset or empty; rejects
+    non-integer text and out-of-range values with a :class:`ValueError`
+    naming the variable (``int()`` tracebacks are opaque).
+    """
+    raw = _env_raw(name)
+    if raw is None:
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(f"{name}={raw!r} is not an integer") from None
+    if lo is not None and value < lo:
+        raise ValueError(f"{name} must be >= {lo}, got {value}")
+    if hi is not None and value > hi:
+        raise ValueError(f"{name} must be <= {hi}, got {value}")
+    return value
+
+
+#: Accepted spellings for :func:`env_bool`.  Anything else is rejected:
+#: ``REPRO_FAST=fa1se`` silently meaning "on" (the old truthy-string
+#: behaviour) is exactly the kind of typo the parsers exist to catch.
+_TRUE_TOKENS = frozenset({"1", "true", "yes", "on"})
+_FALSE_TOKENS = frozenset({"0", "false", "no", "off"})
+
+
+def env_bool(name: str, default: bool = False) -> bool:
+    """A boolean flag from environment variable *name*.
+
+    Unset or empty returns *default*; ``1/true/yes/on`` (any case) is
+    True, ``0/false/no/off`` is False, anything else raises
+    :class:`ValueError` naming the variable.
+    """
+    raw = _env_raw(name)
+    if raw is None:
+        return default
+    token = raw.lower()
+    if token in _TRUE_TOKENS:
+        return True
+    if token in _FALSE_TOKENS:
+        return False
+    raise ValueError(f"{name} must be a boolean "
+                     f"(1/0/true/false/yes/no/on/off), got {raw!r}")
+
+
+def env_str(name: str, default: str | None = None) -> str | None:
+    """A string from environment variable *name*.
+
+    Unset or empty returns *default* — callers that treat "set to the
+    empty string" as "unset" (checkpoint paths, store roots) get that
+    normalisation in one place.
+    """
+    raw = _env_raw(name)
+    if raw is None:
+        return default
+    return raw
+
+
+def env_csv(name: str) -> list[str] | None:
+    """Comma-separated env list → stripped tokens (None when unset/empty).
+
+    The one shared parser behind ``REPRO_GRAPHS`` / ``REPRO_THREADS`` —
+    blanks between commas are dropped.  Unset, empty, and whitespace-only
+    values mean "unset" (None → caller default), but a value that spells
+    out separators with no tokens (``" , ,"``) is an *explicit empty
+    list* (``[]``) so callers can reject it loudly instead of silently
+    sweeping their default.
+    """
+    env = _env_raw(name)
+    if env is None:
+        return None
+    return [token.strip() for token in env.split(",") if token.strip()]
+
+
+def check_positive(name: str, value: float) -> None:
     """Raise :class:`ValueError` unless ``value > 0``."""
     if not value > 0:
         raise ValueError(f"{name} must be positive, got {value!r}")
 
 
-def check_nonnegative(name: str, value) -> None:
+def check_nonnegative(name: str, value: float) -> None:
     """Raise :class:`ValueError` unless ``value >= 0``."""
     if not value >= 0:
         raise ValueError(f"{name} must be non-negative, got {value!r}")
 
 
-def as_int_array(values, name: str = "values") -> np.ndarray:
+def as_int_array(values: object,
+                 name: str = "values") -> NDArray[np.int64]:
     """Coerce *values* to a 1-D int64 array, validating shape."""
     arr = np.asarray(values, dtype=np.int64)
     if arr.ndim != 1:

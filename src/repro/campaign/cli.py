@@ -23,7 +23,7 @@ import math
 import os
 import sys
 
-from repro._util import atomic_write_text
+from repro._util import atomic_write_text, env_int
 
 __all__ = ["main", "run_campaign", "campaign_results_dict"]
 
@@ -43,7 +43,7 @@ def run_campaign(spec, *, jobs=None, retries=None, store=None,
     if store is None or isinstance(store, (str, os.PathLike)):
         store = ResultStore(store)
     if retries is None:
-        retries = int(os.environ.get("REPRO_RETRIES", "1"))
+        retries = env_int("REPRO_RETRIES", 1, lo=0)
     cells = spec.expand()
     report = execute(
         run_cell, cells, jobs=jobs, retries=retries, store=store,

@@ -35,6 +35,8 @@ import sys
 import time
 from dataclasses import dataclass, field
 
+from repro._util import env_int
+
 __all__ = ["ExecutionReport", "execute", "default_jobs"]
 
 #: Sentinel for "no more work" in the submission loop.
@@ -50,15 +52,7 @@ def default_jobs() -> int:
     ``0`` means "one worker per CPU"; anything that is not a
     non-negative integer is rejected with a clear :class:`ValueError`.
     """
-    env = os.environ.get("REPRO_JOBS")
-    if not env:
-        return 1
-    try:
-        jobs = int(env)
-    except ValueError:
-        raise ValueError(f"REPRO_JOBS={env!r} is not an integer") from None
-    if jobs < 0:
-        raise ValueError(f"REPRO_JOBS must be >= 0, got {jobs}")
+    jobs = env_int("REPRO_JOBS", 1, lo=0)
     return jobs or (os.cpu_count() or 1)
 
 

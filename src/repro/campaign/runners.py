@@ -39,6 +39,9 @@ def _machine(name: str):
 @contextmanager
 def _fault_seed_env(seed: int):
     """Pin ``REPRO_FAULT_SEED`` for one cell, restoring the old value."""
+    # repro: ignore[env-raw-read] save/restore of the previous raw value
+    # around a pinned cell, not a configuration read (fault_seed() is the
+    # validated consumer)
     old = os.environ.get("REPRO_FAULT_SEED")
     os.environ["REPRO_FAULT_SEED"] = str(seed)
     try:

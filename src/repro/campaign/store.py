@@ -25,7 +25,8 @@ import os
 import time
 from dataclasses import dataclass, field
 
-from repro._util import atomic_write_text, canonical_json, sha256_hex
+from repro._util import (atomic_write_text, canonical_json, env_str,
+                         sha256_hex)
 
 __all__ = ["ResultStore", "StoreStats", "code_fingerprint",
            "default_store_root", "DEFAULT_STORE_ROOT"]
@@ -66,8 +67,7 @@ def code_fingerprint() -> str:
 
 def default_store_root() -> str | None:
     """Store root from ``REPRO_STORE`` (None = store disabled)."""
-    root = os.environ.get("REPRO_STORE")
-    return root or None
+    return env_str("REPRO_STORE")
 
 
 @dataclass

@@ -25,6 +25,12 @@ Campaigns (``repro.campaign``):
 * ``--jobs N`` computes any figure's sweep cells on N worker processes
   (bitwise-identical to the serial run); ``--store DIR`` caches every
   finished cell so repeated figure/ablation/CI runs recompute nothing.
+
+Static analysis (``repro.lint``):
+
+* ``repro lint ...`` delegates to :mod:`repro.lint.cli` — the AST-level
+  invariant checker (determinism, env hygiene, observer gating, kernel
+  footprints, lock/barrier pairing) behind the CI lint gate.
 """
 
 from __future__ import annotations
@@ -74,6 +80,9 @@ def main(argv=None) -> int:
     if argv and argv[0] == "check":
         from repro.check.cli import main as check_main
         return check_main(list(argv[1:]))
+    if argv and argv[0] == "lint":
+        from repro.lint.cli import main as lint_main
+        return lint_main(list(argv[1:]))
 
     parser = argparse.ArgumentParser(
         prog="repro-experiments",

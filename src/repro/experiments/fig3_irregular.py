@@ -65,8 +65,7 @@ def run_fig3(graphs=None, threads=None, jobs=None,
     figure — ``jobs``/``store`` (or ``REPRO_JOBS``/``REPRO_STORE``)
     parallelise and cache the 4-axis sweep.
     """
-    import os
-
+    from repro._util import env_bool
     from repro.campaign.executor import execute
     from repro.experiments.harness import (geomean, panel_graphs,
                                            panel_store, panel_threads)
@@ -85,7 +84,7 @@ def run_fig3(graphs=None, threads=None, jobs=None,
                             "iterations": k[2], "threads": k[3]},
         labels_for=lambda k: {"graph": k[1], "variant": f"{k[0]}-{k[2]}it",
                               "threads": k[3]},
-        progress=bool(os.environ.get("REPRO_PROGRESS")),
+        progress=env_bool("REPRO_PROGRESS"),
         desc="cells (fig3)")
     if report.interrupted:
         raise KeyboardInterrupt

@@ -62,8 +62,10 @@ _BFS_KINDS = {
 
 def fault_seed() -> int:
     """Scenario seed (``REPRO_FAULT_SEED`` env var, default 0)."""
-    import os
-    return int(os.environ.get("REPRO_FAULT_SEED", "0"))
+    from repro._util import env_int
+    seed = env_int("REPRO_FAULT_SEED", 0)
+    assert seed is not None
+    return seed
 
 
 def _intensities() -> list[int]:

@@ -38,6 +38,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro._util import env_bool, env_csv, env_int, env_str
 from repro.graph.reorder import apply_ordering
 from repro.graph.suite import SUITE, suite_graph, suite_scale
 
@@ -56,22 +57,9 @@ _FAST_THREADS_MIC = [1, 11, 31, 61, 121]
 _FAST_THREADS_HOST = [1, 4, 8, 12, 16, 24]
 
 
-def env_csv(name: str) -> list[str] | None:
-    """Comma-separated env list → stripped tokens (None when unset/empty).
-
-    The one shared parser behind ``REPRO_GRAPHS`` / ``REPRO_THREADS`` —
-    blanks between commas are dropped, an entirely blank value counts as
-    set-but-empty (``[]``) so validation can reject it clearly.
-    """
-    env = os.environ.get(name)
-    if not env:
-        return None
-    return [token.strip() for token in env.split(",") if token.strip()]
-
-
 def fast_mode() -> bool:
     """Whether ``REPRO_FAST`` shrinks sweeps (shared by every driver)."""
-    return bool(os.environ.get("REPRO_FAST"))
+    return env_bool("REPRO_FAST")
 
 
 def parse_thread_counts(values, source: str) -> list[int]:
@@ -129,7 +117,7 @@ def panel_threads(host: bool = False) -> list[int]:
     """Thread sweep to use (honours REPRO_THREADS / REPRO_FAST)."""
     tokens = env_csv("REPRO_THREADS")
     if tokens is not None:
-        env = os.environ.get("REPRO_THREADS", "")
+        env = env_str("REPRO_THREADS", "")
         return parse_thread_counts(tokens,
                                    source=f"REPRO_THREADS={env!r}")
     if fast_mode():
@@ -197,7 +185,7 @@ def panel_store(store=None):
     decides (unset = caching off, the serial in-process default).
     """
     if store is None:
-        root = os.environ.get("REPRO_STORE")
+        root = env_str("REPRO_STORE")
         if not root:
             return None
         store = root
@@ -272,9 +260,9 @@ def run_panel(
     if baseline_point not in threads:
         threads = [baseline_point] + list(threads)
     if retries is None:
-        retries = int(os.environ.get("REPRO_RETRIES", "1"))
+        retries = env_int("REPRO_RETRIES", 1, lo=0)
     if checkpoint is None:
-        checkpoint = os.environ.get("REPRO_CHECKPOINT") or None
+        checkpoint = env_str("REPRO_CHECKPOINT")
     store = panel_store(store)
 
     cycles: dict[tuple[str, str, int], float] = {}
@@ -297,7 +285,7 @@ def run_panel(
                               "variant": key[1], "threads": key[2]},
         labels_for=lambda key: {"graph": key[0], "variant": key[1],
                                 "threads": key[2]},
-        progress=bool(os.environ.get("REPRO_PROGRESS")),
+        progress=env_bool("REPRO_PROGRESS"),
         on_cell=on_cell, desc=f"cells ({title})")
     cycles.update(report.values)
     failures = dict(report.errors)

@@ -24,6 +24,7 @@ from __future__ import annotations
 import os
 
 import numpy as np
+from numpy.typing import NDArray
 
 from repro.graph.csr import CSRGraph
 
@@ -31,7 +32,7 @@ __all__ = ["read_matrix_market", "write_matrix_market", "read_edge_list",
            "write_edge_list", "load_graph"]
 
 
-def _validate_edges(path: str, n: int, edges: np.ndarray,
+def _validate_edges(path: str, n: int, edges: NDArray[np.int64],
                     strict: bool, ordered_dupes: bool) -> None:
     """Common malformed-edge checks, errors prefixed with *path*.
 
@@ -64,7 +65,7 @@ def _validate_edges(path: str, n: int, edges: np.ndarray,
             "strict=False to merge duplicates)")
 
 
-def read_matrix_market(path: str | os.PathLike, name: str | None = None,
+def read_matrix_market(path: str | os.PathLike[str], name: str | None = None,
                        strict: bool = True) -> CSRGraph:
     """Read a MatrixMarket coordinate file as an undirected pattern graph.
 
@@ -114,7 +115,7 @@ def read_matrix_market(path: str | os.PathLike, name: str | None = None,
                                name=name or os.path.splitext(os.path.basename(path))[0])
 
 
-def write_matrix_market(graph: CSRGraph, path: str | os.PathLike) -> None:
+def write_matrix_market(graph: CSRGraph, path: str | os.PathLike[str]) -> None:
     """Write *graph* as ``matrix coordinate pattern symmetric`` (lower triangle)."""
     edges = graph.edge_array()  # u < v once per edge
     with open(os.fspath(path), "w", encoding="utf-8") as fh:
@@ -126,7 +127,7 @@ def write_matrix_market(graph: CSRGraph, path: str | os.PathLike) -> None:
             fh.write(f"{v + 1} {u + 1}\n")
 
 
-def read_edge_list(path: str | os.PathLike, name: str | None = None,
+def read_edge_list(path: str | os.PathLike[str], name: str | None = None,
                    strict: bool = True) -> CSRGraph:
     """Read ``u v`` pairs (0-based, ``#`` comments allowed), one per line.
 
@@ -136,7 +137,7 @@ def read_edge_list(path: str | os.PathLike, name: str | None = None,
     ``strict=False`` drops loops and merges duplicates instead.
     """
     path = os.fspath(path)
-    edges = []
+    edges: list[tuple[int, int]] = []
     n = 0
     with open(path, "r", encoding="utf-8") as fh:
         for lineno, line in enumerate(fh, 1):
@@ -167,7 +168,7 @@ def read_edge_list(path: str | os.PathLike, name: str | None = None,
                                name=name or os.path.splitext(os.path.basename(path))[0])
 
 
-def write_edge_list(graph: CSRGraph, path: str | os.PathLike) -> None:
+def write_edge_list(graph: CSRGraph, path: str | os.PathLike[str]) -> None:
     """Write each undirected edge once as ``u v`` (0-based)."""
     with open(os.fspath(path), "w", encoding="utf-8") as fh:
         fh.write(f"# {graph.name}: {graph.n_vertices} vertices, {graph.n_edges} edges\n")
@@ -175,7 +176,7 @@ def write_edge_list(graph: CSRGraph, path: str | os.PathLike) -> None:
             fh.write(f"{u} {v}\n")
 
 
-def load_graph(path: str | os.PathLike, name: str | None = None,
+def load_graph(path: str | os.PathLike[str], name: str | None = None,
                strict: bool = True) -> CSRGraph:
     """Dispatch on extension: ``.mtx`` → MatrixMarket, anything else → edge list."""
     if os.fspath(path).endswith(".mtx"):

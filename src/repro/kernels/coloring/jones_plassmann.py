@@ -21,7 +21,7 @@ import numpy as np
 
 from repro._util import rng_from_seed
 from repro.graph.csr import CSRGraph
-from repro.kernels.base import KernelRun, gather_neighbors
+from repro.kernels.base import AccessSet, KernelRun, gather_neighbors
 
 __all__ = ["jones_plassmann_coloring", "simulate_jones_plassmann",
            "JonesPlassmannRun"]
@@ -91,6 +91,34 @@ def _first_fit(indptr, indices, colors, verts, bits):
     colors[verts] = mex
 
 
+def _round_access(graph: CSRGraph, visit: np.ndarray) -> AccessSet:
+    """Footprint of one JP round: item ``i`` may write
+    ``colors[visit[i]]`` (if it wins) and reads its neighbours' colours
+    and priorities.
+
+    A loser's neighbour-colour read can overlap a winning neighbour's
+    commit within the same region, but round-synchronous semantics make
+    the commit visible only next round — the overlap is benign by
+    construction (winners form an independent set, so first-fit reads
+    never decide on a cell written this round).
+    """
+
+    def written(lo, hi):
+        return visit[lo:hi]
+
+    def read(lo, hi):
+        return gather_neighbors(graph.indptr, graph.indices, visit[lo:hi])[0]
+
+    return (AccessSet("jp-round")
+            .writes("colors", written)
+            .reads("colors", read)
+            .benign_race("colors",
+                         "round-synchronous JP: winner commits become "
+                         "visible next round; winners are an independent "
+                         "set so no first-fit decision depends on a "
+                         "same-round write"))
+
+
 @dataclass
 class JonesPlassmannRun(KernelRun):
     """Result of one simulated Jones-Plassmann execution."""
@@ -141,7 +169,8 @@ def simulate_jones_plassmann(graph: CSRGraph, n_threads: int, spec=None,
     while uncolored.size:
         st = spec.parallel_for(config, n_threads, costs.take(uncolored),
                                tls_entries=graph.max_degree + 1,
-                               seed=seed + run.rounds)
+                               seed=seed + run.rounds,
+                               access=_round_access(graph, uncolored))
         run.add_loop(st)
         nbrs, seg = gather_neighbors(graph.indptr, graph.indices, uncolored)
         beat = (colors[nbrs] == 0) & (priority[nbrs]

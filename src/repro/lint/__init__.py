@@ -1,0 +1,22 @@
+"""repro.lint — AST-level invariant checker for the simulator core.
+
+Static counterpart to the dynamic :mod:`repro.check` layer: where the
+happens-before checker audits one execution, ``repro lint`` audits the
+*source* for invariants every execution must satisfy — determinism
+(no wall clock or unseeded RNG in simulated code), environment hygiene
+(all ``REPRO_*`` reads through :mod:`repro._util` parsers, documented
+in ``ENV.md``), observer gating (hook calls behind a single null
+check), kernel footprint completeness (subscript writes covered by the
+declared :class:`~repro.kernels.base.AccessSet`), and lock/barrier
+pairing in the time-reservation sync model.
+
+Entry points: ``repro lint`` on the command line, or
+:func:`repro.lint.engine.lint_paths` programmatically.
+"""
+
+from repro.lint.engine import LintResult, lint_paths
+from repro.lint.findings import SEV_ERROR, SEV_WARNING, Finding
+from repro.lint.registry import all_rules, rule_ids
+
+__all__ = ["LintResult", "lint_paths", "Finding", "SEV_ERROR",
+           "SEV_WARNING", "all_rules", "rule_ids"]

@@ -1,0 +1,74 @@
+"""Committed baseline of grandfathered lint findings.
+
+The baseline lets the lint gate turn on strict without a flag-day
+rewrite: existing findings are recorded once (``repro lint
+--update-baseline --reason "..."``) and only *new* findings fail the
+run.  Entries are keyed by content fingerprint — rule id, path, the
+offending line's text, and an occurrence index — so they survive
+unrelated line drift but expire the moment the offending code changes.
+
+Every entry carries a written reason, same contract as inline
+suppressions: grandfathering is documentation, not amnesty.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+
+from repro._util import atomic_write_text, canonical_json
+from repro.lint.findings import Finding
+
+__all__ = ["BaselineEntry", "load_baseline", "save_baseline",
+           "entries_for"]
+
+#: Default file name, resolved against the repo root by the CLI.
+BASELINE_NAME = "lint_baseline.json"
+
+
+@dataclass
+class BaselineEntry:
+    """One grandfathered finding."""
+
+    fingerprint: str
+    rule: str
+    path: str
+    reason: str
+
+    def to_dict(self) -> dict[str, str]:
+        return {"fingerprint": self.fingerprint, "rule": self.rule,
+                "path": self.path, "reason": self.reason}
+
+
+def load_baseline(path: str) -> dict[str, BaselineEntry]:
+    """Baseline entries keyed by fingerprint; missing file → empty."""
+    if not os.path.exists(path):
+        return {}
+    with open(path, "r", encoding="utf-8") as fh:
+        payload = json.load(fh)
+    entries = payload.get("entries", []) if isinstance(payload, dict) \
+        else []
+    out: dict[str, BaselineEntry] = {}
+    for raw in entries:
+        entry = BaselineEntry(
+            fingerprint=str(raw["fingerprint"]), rule=str(raw["rule"]),
+            path=str(raw["path"]), reason=str(raw.get("reason", "")))
+        out[entry.fingerprint] = entry
+    return out
+
+
+def entries_for(findings: list[Finding], reason: str) -> list[BaselineEntry]:
+    """Baseline entries for *findings*, all sharing one *reason*."""
+    return [BaselineEntry(fingerprint=f.fingerprint, rule=f.rule,
+                          path=f.path, reason=reason)
+            for f in findings]
+
+
+def save_baseline(path: str, entries: list[BaselineEntry]) -> None:
+    """Write the baseline deterministically (sorted, canonical JSON)."""
+    ordered = sorted(entries, key=lambda e: (e.path, e.rule,
+                                             e.fingerprint))
+    payload = {"version": 1,
+               "entries": [e.to_dict() for e in ordered]}
+    atomic_write_text(path, canonical_json(payload) + "\n")

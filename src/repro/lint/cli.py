@@ -1,0 +1,183 @@
+"""``repro lint`` — drive the AST invariant checker from the shell.
+
+Exit status is 1 only when *new* error-severity findings exist (not
+suppressed inline, not in the baseline); warnings and grandfathered
+findings print but never fail the run, so the gate is strict without
+blocking incremental cleanup.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import Sequence
+
+from repro._util import atomic_write_text, canonical_json
+from repro.lint import baseline as baseline_mod
+from repro.lint.engine import LintResult, lint_paths, rule_table
+from repro.lint.envdoc import render_env_md
+
+__all__ = ["main", "find_root"]
+
+
+def find_root(start: str | None = None) -> str:
+    """Nearest ancestor of *start* (default cwd) holding pyproject.toml."""
+    cur = os.path.abspath(start or os.getcwd())
+    while True:
+        if os.path.exists(os.path.join(cur, "pyproject.toml")):
+            return cur
+        parent = os.path.dirname(cur)
+        if parent == cur:
+            return os.path.abspath(start or os.getcwd())
+        cur = parent
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="AST-level invariant checker: determinism, env "
+                    "hygiene, observer gating, kernel footprints, "
+                    "lock/barrier pairing.")
+    parser.add_argument("paths", nargs="*",
+                        help="files/directories to lint "
+                             "(default: <root>/src/repro)")
+    parser.add_argument("--root", default=None,
+                        help="repo root (default: walk up to "
+                             "pyproject.toml)")
+    parser.add_argument("--json", dest="json_path", default=None,
+                        metavar="PATH",
+                        help="write the full machine-readable report "
+                             "('-' for stdout)")
+    parser.add_argument("--baseline", default=None, metavar="PATH",
+                        help="baseline file (default: "
+                             "<root>/lint_baseline.json)")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="ignore the baseline; report everything")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="record current new findings into the "
+                             "baseline (requires --reason)")
+    parser.add_argument("--reason", default="",
+                        help="written rationale stored with "
+                             "--update-baseline entries")
+    parser.add_argument("--env-registry", default=None, metavar="PATH",
+                        help="write the env-var registry as JSON "
+                             "('-' for stdout)")
+    parser.add_argument("--write-env-md", default=None, metavar="PATH",
+                        help="regenerate the ENV.md table and exit")
+    parser.add_argument("--env-doc", default=None, metavar="PATH",
+                        help="ENV.md checked by env-undocumented "
+                             "(default: <root>/ENV.md; 'none' disables)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print every registered rule and exit")
+    parser.add_argument("-q", "--quiet", action="store_true",
+                        help="only print the summary line")
+    return parser
+
+
+def _print_report(result: LintResult, elapsed: float,
+                  quiet: bool) -> None:
+    if not quiet:
+        for finding in result.findings:
+            print(finding.format())
+        if result.stale_baseline:
+            for entry in result.stale_baseline:
+                print(f"note: baseline entry {entry.fingerprint} "
+                      f"({entry.rule} in {entry.path}) no longer "
+                      "matches; prune it with --update-baseline")
+    n_err = len(result.errors)
+    n_warn = len(result.findings) - n_err
+    print(f"repro lint: {result.files_checked} files, "
+          f"{n_err} error(s), {n_warn} warning(s), "
+          f"{len(result.suppressed)} suppressed, "
+          f"{len(result.baselined)} baselined "
+          f"[{elapsed:.2f}s]")
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = _build_parser().parse_args(
+        list(argv) if argv is not None else None)
+    if args.list_rules:
+        print(rule_table())
+        return 0
+
+    root = os.path.abspath(args.root) if args.root else find_root()
+    paths = [os.path.abspath(p) for p in args.paths] \
+        or [os.path.join(root, "src", "repro")]
+
+    baseline_path: str | None
+    if args.no_baseline:
+        baseline_path = None
+    elif args.baseline is not None:
+        baseline_path = os.path.abspath(args.baseline)
+    else:
+        baseline_path = os.path.join(root, baseline_mod.BASELINE_NAME)
+
+    env_doc: str | None
+    if args.env_doc == "none":
+        env_doc = None
+    elif args.env_doc is not None:
+        env_doc = os.path.abspath(args.env_doc)
+    else:
+        env_doc = os.path.join(root, "ENV.md")
+    if args.write_env_md is not None:
+        # Regeneration must not fail on the staleness it is fixing.
+        env_doc = None
+
+    start = time.perf_counter()
+    result = lint_paths(paths, root=root, baseline_path=baseline_path,
+                        env_doc_path=env_doc)
+    elapsed = time.perf_counter() - start
+
+    if args.write_env_md is not None:
+        atomic_write_text(args.write_env_md,
+                          render_env_md(result.env_registry))
+        print(f"wrote {args.write_env_md} "
+              f"({len(result.env_registry)} variables)")
+        return 0
+
+    if args.env_registry is not None:
+        payload = canonical_json(result.env_registry) + "\n"
+        if args.env_registry == "-":
+            sys.stdout.write(payload)
+        else:
+            atomic_write_text(args.env_registry, payload)
+
+    if args.json_path is not None:
+        payload = json.dumps(result.to_dict(), indent=2,
+                             sort_keys=True) + "\n"
+        if args.json_path == "-":
+            sys.stdout.write(payload)
+        else:
+            atomic_write_text(args.json_path, payload)
+
+    if args.update_baseline:
+        if not args.reason.strip():
+            print("error: --update-baseline requires --reason "
+                  "(grandfathering is documentation, not amnesty)",
+                  file=sys.stderr)
+            return 2
+        if baseline_path is None:
+            print("error: --update-baseline conflicts with "
+                  "--no-baseline", file=sys.stderr)
+            return 2
+        kept = [e for fp, e in
+                sorted(baseline_mod.load_baseline(baseline_path).items())
+                if fp not in {s.fingerprint for s in
+                              result.stale_baseline}]
+        new = baseline_mod.entries_for(result.errors,
+                                       args.reason.strip())
+        baseline_mod.save_baseline(baseline_path, kept + new)
+        print(f"baseline updated: {len(new)} added, "
+              f"{len(result.stale_baseline)} pruned, "
+              f"{len(kept)} kept")
+        return 0
+
+    _print_report(result, elapsed, args.quiet)
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

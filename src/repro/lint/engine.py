@@ -1,0 +1,307 @@
+"""The lint engine: file walking, suppressions, baseline, rule driving.
+
+One :func:`lint_paths` call parses every Python file under the given
+paths once, runs each registered rule over the modules in its scope,
+then runs project-wide finalizers (env-var documentation).  Findings
+are filtered through two escape hatches, both requiring a written
+rationale:
+
+* inline suppressions — ``# repro: ignore[rule-id] <reason>`` on the
+  offending line, or in a comment line directly above it;
+* the committed baseline file (see :mod:`repro.lint.baseline`) for
+  grandfathered findings, matched by content fingerprint.
+
+A suppression without a reason, or naming an unknown rule, is itself a
+finding (``lint-bad-suppression``); a suppression that matches nothing
+is reported as ``lint-unused-suppression`` so dead annotations cannot
+accumulate.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import os
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+from repro.lint.astutil import add_parents, import_bound_names
+from repro.lint.baseline import BaselineEntry, load_baseline
+from repro.lint.findings import SEV_ERROR, SEV_WARNING, Finding
+from repro.lint.registry import (FINALIZERS, ModuleContext, Project,
+                                 all_rules, declare_rule, rule_ids)
+
+__all__ = ["LintResult", "lint_paths", "iter_python_files"]
+
+#: Syntax: "repro: ignore" + [<rule-id>,...] + reason, in a comment.
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro:\s*ignore\[([A-Za-z0-9_,\s-]+)\]\s*(.*)$")
+
+declare_rule("lint-bad-suppression", SEV_ERROR,
+             "an inline suppression must name a known rule id and carry "
+             "a written rationale")
+declare_rule("lint-unused-suppression", SEV_WARNING,
+             "an inline suppression that matches no finding is dead "
+             "annotation; delete it or fix the rule id")
+
+
+@dataclass
+class Suppression:
+    """One parsed inline suppression annotation."""
+
+    rules: tuple[str, ...]
+    reason: str
+    comment_line: int   # where the annotation itself lives
+    target_line: int    # the code line it applies to
+    used: bool = False
+
+
+@dataclass
+class LintResult:
+    """Everything one lint run produced."""
+
+    findings: list[Finding] = field(default_factory=list)   # actionable
+    suppressed: list[Finding] = field(default_factory=list)
+    baselined: list[Finding] = field(default_factory=list)
+    env_registry: dict[str, dict[str, list[str]]] = \
+        field(default_factory=dict)
+    files_checked: int = 0
+    stale_baseline: list[BaselineEntry] = field(default_factory=list)
+
+    @property
+    def errors(self) -> list[Finding]:
+        """New findings that fail the run."""
+        return [f for f in self.findings if f.severity == SEV_ERROR]
+
+    @property
+    def ok(self) -> bool:
+        """Exit-0 condition: no new error-severity findings."""
+        return not self.errors
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-ready summary (the ``--json`` payload)."""
+        return {
+            "ok": self.ok,
+            "files_checked": self.files_checked,
+            "findings": [f.to_dict() for f in self.findings],
+            "suppressed": [f.to_dict() for f in self.suppressed],
+            "baselined": [f.to_dict() for f in self.baselined],
+            "stale_baseline": [e.to_dict() for e in self.stale_baseline],
+            "env_registry": self.env_registry,
+        }
+
+
+def iter_python_files(paths: list[str]) -> list[str]:
+    """Sorted ``.py`` files under *paths* (files accepted verbatim)."""
+    out: list[str] = []
+    for path in paths:
+        if os.path.isfile(path):
+            out.append(path)
+            continue
+        for dirpath, dirnames, filenames in os.walk(path):
+            dirnames[:] = sorted(d for d in dirnames
+                                 if d != "__pycache__")
+            for fn in sorted(filenames):
+                if fn.endswith(".py"):
+                    out.append(os.path.join(dirpath, fn))
+    return sorted(out)
+
+
+def _comment_lines(source: str) -> dict[int, str]:
+    """1-based line → comment text, via the tokenizer.
+
+    Tokenizing (rather than regex over raw lines) keeps doc examples of
+    the suppression syntax inside strings from parsing as suppressions.
+    """
+    out: dict[int, str] = {}
+    try:
+        for tok in tokenize.generate_tokens(io.StringIO(source).readline):
+            if tok.type == tokenize.COMMENT:
+                out[tok.start[0]] = tok.string
+    except tokenize.TokenError:
+        pass
+    return out
+
+
+def _parse_suppressions(source: str, lines: list[str],
+                        known: set[str]) -> tuple[list[Suppression],
+                                                  list[Finding]]:
+    """Extract suppressions; malformed ones become findings directly.
+
+    A suppression on a code line covers that line.  One on a
+    comment-only line covers the next non-comment line, so multi-line
+    rationales above the offending statement work naturally.
+    """
+    sups: list[Suppression] = []
+    bad: list[Finding] = []
+    comments = _comment_lines(source)
+    for i in sorted(comments):
+        raw = lines[i - 1]
+        m = _SUPPRESS_RE.search(comments[i])
+        if m is None:
+            continue
+        ids = tuple(tok.strip() for tok in m.group(1).split(",")
+                    if tok.strip())
+        reason = m.group(2).strip()
+        unknown = [r for r in ids if r not in known]
+        if unknown or not ids:
+            bad.append(Finding(
+                rule="lint-bad-suppression", path="", line=i,
+                message=f"suppression names unknown rule(s) "
+                        f"{unknown or '[]'}; valid ids: repro lint "
+                        "--list-rules", snippet=raw.strip()))
+            continue
+        target = i
+        if raw.lstrip().startswith("#"):
+            # Comment-only annotation: applies to the next code line
+            # (skipping the rest of the comment block).
+            j = i
+            while j < len(lines) and lines[j].lstrip().startswith("#"):
+                j += 1
+            target = j + 1 if j < len(lines) else i
+        if not reason:
+            bad.append(Finding(
+                rule="lint-bad-suppression", path="", line=i,
+                message=f"suppression of {', '.join(ids)} has no written "
+                        "rationale; annotations document intent, they "
+                        "are not mute buttons", snippet=raw.strip()))
+            continue
+        sups.append(Suppression(rules=ids, reason=reason, comment_line=i,
+                                target_line=target))
+    return sups, bad
+
+
+def _relpath(path: str, root: str) -> str:
+    """Repo-root-relative posix path (stable across platforms)."""
+    try:
+        rel = os.path.relpath(path, root)
+    except ValueError:           # different drive (Windows)
+        rel = path
+    return rel.replace(os.sep, "/")
+
+
+def lint_paths(paths: list[str], root: str,
+               baseline_path: str | None = None,
+               env_doc_path: str | None = None) -> LintResult:
+    """Lint every Python file under *paths*; returns a :class:`LintResult`.
+
+    *root* anchors relative paths (finding locations, baseline
+    fingerprints).  *baseline_path* (optional) grandfathers known
+    findings; *env_doc_path* (optional) is the ENV.md checked by the
+    ``env-undocumented`` rule — pass None to skip that check.
+    """
+    rules = all_rules()
+    known = rule_ids()
+    project = Project(root=root, env_doc_path=env_doc_path)
+    raw_findings: list[Finding] = []
+    suppressions: dict[str, list[Suppression]] = {}
+    files = iter_python_files(paths)
+
+    for path in files:
+        relpath = _relpath(path, root)
+        with open(path, "r", encoding="utf-8") as fh:
+            source = fh.read()
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as exc:
+            raise ValueError(f"{relpath}: cannot lint: {exc}") from exc
+        add_parents(tree)
+        lines = source.splitlines()
+        ctx = ModuleContext(path=path, relpath=relpath, tree=tree,
+                            lines=lines,
+                            import_bound=import_bound_names(tree),
+                            project=project)
+        project.modules.append(ctx)
+        sups, bad = _parse_suppressions(source, lines, known)
+        for finding in bad:
+            finding.path = relpath
+        raw_findings.extend(bad)
+        suppressions[relpath] = sups
+        for spec in rules:
+            if spec.check is None or not spec.applies_to(relpath):
+                continue
+            raw_findings.extend(spec.check(ctx))
+
+    for finalize in FINALIZERS:
+        raw_findings.extend(finalize(project))
+
+    # Fill snippets for findings built outside a module context.
+    by_rel = {m.relpath: m for m in project.modules}
+    for finding in raw_findings:
+        if not finding.snippet and finding.path in by_rel:
+            finding.snippet = by_rel[finding.path].line_at(finding.line)
+
+    _assign_fingerprints(raw_findings)
+    result = LintResult(env_registry=project.env_registry(),
+                        files_checked=len(files))
+
+    baseline: dict[str, BaselineEntry] = {}
+    if baseline_path is not None:
+        baseline = load_baseline(baseline_path)
+    matched: set[str] = set()
+
+    for finding in sorted(raw_findings,
+                          key=lambda f: (f.path, f.line, f.rule)):
+        sup = _matching_suppression(suppressions.get(finding.path, []),
+                                    finding)
+        if sup is not None:
+            sup.used = True
+            finding.suppressed = True
+            finding.suppress_reason = sup.reason
+            result.suppressed.append(finding)
+            continue
+        entry = baseline.get(finding.fingerprint)
+        if entry is not None:
+            matched.add(finding.fingerprint)
+            finding.baselined = True
+            result.baselined.append(finding)
+            continue
+        result.findings.append(finding)
+
+    for relpath, sups in sorted(suppressions.items()):
+        for sup in sups:
+            if not sup.used:
+                result.findings.append(Finding(
+                    rule="lint-unused-suppression", path=relpath,
+                    line=sup.comment_line, severity=SEV_WARNING,
+                    message=f"suppression of {', '.join(sup.rules)} "
+                            "matches no finding; delete it or fix the "
+                            "rule id",
+                    snippet=by_rel[relpath].line_at(sup.comment_line)))
+
+    result.stale_baseline = [e for fp, e in sorted(baseline.items())
+                             if fp not in matched]
+    _assign_fingerprints(result.findings)
+    return result
+
+
+def _matching_suppression(sups: list[Suppression],
+                          finding: Finding) -> Suppression | None:
+    """The first suppression covering *finding*'s line and rule."""
+    for sup in sups:
+        if finding.rule in sup.rules \
+                and finding.line in (sup.target_line, sup.comment_line):
+            return sup
+    return None
+
+
+def _assign_fingerprints(findings: list[Finding]) -> None:
+    """Compute stable fingerprints (occurrence-indexed per content key)."""
+    seen: dict[tuple[str, str, str], int] = {}
+    for finding in sorted(findings, key=lambda f: (f.path, f.line,
+                                                   f.rule)):
+        key = (finding.rule, finding.path, finding.snippet)
+        finding.occurrence = seen.get(key, 0)
+        seen[key] = finding.occurrence + 1
+        finding.compute_fingerprint()
+
+
+def rule_table() -> str:
+    """Human-readable rule listing for ``--list-rules``."""
+    rows = []
+    for spec in all_rules():
+        scope = ", ".join(spec.scope) if spec.scope else "all files"
+        rows.append(f"{spec.id:24s} [{spec.severity:7s}] ({scope})\n"
+                    f"    {spec.description}")
+    return "\n".join(rows)

@@ -1,0 +1,52 @@
+"""Generate ``ENV.md`` from the lint engine's env-var registry.
+
+The ``env-raw-read`` rule records every ``env_*`` parser call it sees
+(variable name, parser, default expression, call site), so the lint run
+already holds the project's complete environment surface.  This module
+renders it as a deterministic markdown table; ``repro lint
+--write-env-md ENV.md`` regenerates the file and the
+``env-undocumented`` rule fails the lint whenever the two drift.
+"""
+
+from __future__ import annotations
+
+__all__ = ["render_env_md"]
+
+_HEADER = """\
+# Environment variables
+
+All `REPRO_*` configuration is read through the validated parsers in
+`repro._util` (`env_int`, `env_float`, `env_bool`, `env_str`,
+`env_csv`): malformed values raise `ValueError` naming the variable
+instead of being silently coerced.  This file is **generated** from
+those call sites by the static analyzer — regenerate with:
+
+```sh
+PYTHONPATH=src python -m repro.experiments.cli lint --write-env-md ENV.md
+```
+
+`repro lint` fails if a variable is read in code but missing here.
+
+| Variable | Parser | Default | Consuming module(s) |
+|----------|--------|---------|---------------------|
+"""
+
+
+def render_env_md(registry: dict[str, dict[str, list[str]]]) -> str:
+    """Markdown document for the merged env registry.
+
+    *registry* is :meth:`repro.lint.registry.Project.env_registry`
+    output: per-variable parser set, default expressions, and consumer
+    paths, already deterministically ordered.
+    """
+    rows = []
+    for name in sorted(registry):
+        info = registry[name]
+        parsers = ", ".join(f"`{p}`" for p in info["parsers"]
+                            if p not in ("raw", "write"))
+        defaults = ", ".join(f"`{d}`" for d in info["defaults"] if d) \
+            or "`None`"
+        consumers = ", ".join(f"`{c}`" for c in info["consumers"])
+        rows.append(f"| `{name}` | {parsers or '`raw`'} | {defaults} "
+                    f"| {consumers} |")
+    return _HEADER + "\n".join(rows) + "\n"

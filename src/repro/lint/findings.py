@@ -1,0 +1,76 @@
+"""Finding and severity types for the :mod:`repro.lint` rule engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro._util import sha256_hex
+
+__all__ = ["SEV_ERROR", "SEV_WARNING", "SEVERITIES", "Finding"]
+
+#: A finding that fails ``repro lint`` (exit 1) unless suppressed inline
+#: or grandfathered in the committed baseline.
+SEV_ERROR = "error"
+#: Reported but never fails the run (style-level and heuristic rules).
+SEV_WARNING = "warning"
+
+SEVERITIES = (SEV_ERROR, SEV_WARNING)
+
+
+@dataclass
+class Finding:
+    """One rule violation at a source location.
+
+    ``fingerprint`` identifies the finding across edits for baseline
+    matching: it hashes the rule id, the file path, the *content* of the
+    offending line and the occurrence index among identical lines — so
+    inserting unrelated lines above does not orphan a baseline entry,
+    while editing the offending line itself does (and forces the entry
+    to be re-justified).
+    """
+
+    rule: str
+    path: str          # repo-root-relative, posix separators
+    line: int          # 1-based
+    message: str
+    severity: str = SEV_ERROR
+    snippet: str = ""  # stripped source of the offending line
+    occurrence: int = 0
+    suppressed: bool = False
+    suppress_reason: str = ""
+    baselined: bool = False
+    fingerprint: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise ValueError(f"unknown severity {self.severity!r}")
+
+    def compute_fingerprint(self) -> str:
+        """Stable identity: rule + path + line content + occurrence."""
+        key = f"{self.rule}\x00{self.path}\x00{self.snippet}" \
+              f"\x00{self.occurrence}"
+        self.fingerprint = sha256_hex(key)[:16]
+        return self.fingerprint
+
+    def location(self) -> str:
+        """``path:line`` as editors expect it."""
+        return f"{self.path}:{self.line}"
+
+    def format(self) -> str:
+        """One human-readable report line."""
+        return (f"{self.path}:{self.line}: [{self.severity}] "
+                f"{self.rule}: {self.message}")
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-ready representation (``--json`` output, baseline files)."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "severity": self.severity,
+            "message": self.message,
+            "snippet": self.snippet,
+            "fingerprint": self.fingerprint,
+            "suppressed": self.suppressed,
+            "baselined": self.baselined,
+        }

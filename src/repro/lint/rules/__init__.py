@@ -1,0 +1,12 @@
+"""Rule families for :mod:`repro.lint`.
+
+Importing this package registers every rule with the registry; the
+engine triggers the import lazily via
+:func:`repro.lint.registry.all_rules`.
+"""
+
+from repro.lint.rules import (determinism, env_hygiene, footprints, locks,
+                              observer_gating)
+
+__all__ = ["determinism", "env_hygiene", "footprints", "locks",
+           "observer_gating"]

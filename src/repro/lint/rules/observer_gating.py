@@ -1,0 +1,68 @@
+"""Observer gating: telemetry/checker hooks stay one comparison when off.
+
+The telemetry (:mod:`repro.obs`) and concurrency-checking
+(:mod:`repro.check`) layers promise zero perturbation when inactive:
+handles are captured once (``self.trace = _obs_tracer.active()``) and
+every use sits behind a single ``is not None`` test.  A hook call that
+skips the null check crashes every uninstrumented run — or worse, gets
+"fixed" with a try/except that hides the cost asymmetry.  This rule
+enforces the idiom statically on the simulated core.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.astutil import guards_with_not_none, walk_calls
+from repro.lint.findings import SEV_ERROR, Finding
+from repro.lint.registry import SIM_SCOPE, ModuleContext, rule
+
+__all__: list[str] = []
+
+#: Attribute/variable names that hold an observer or checker handle
+#: (None when no instrument is installed).
+HANDLE_NAMES = ("trace", "_trace", "check", "_check", "tracer")
+
+
+def _handle_base(call: ast.Call) -> ast.expr | None:
+    """The handle expression a hook call goes through, if any.
+
+    ``ctx.trace.span(...)`` → ``ctx.trace``; ``self._check.on_rmw(...)``
+    → ``self._check``; ``engine.check.on_barrier(...)`` →
+    ``engine.check``.  Plain names (``trace.end(...)``) match too.
+    """
+    func = call.func
+    if not isinstance(func, ast.Attribute):
+        return None
+    base = func.value
+    if isinstance(base, ast.Name) and base.id in HANDLE_NAMES:
+        return base
+    if isinstance(base, ast.Attribute) and base.attr in HANDLE_NAMES:
+        return base
+    return None
+
+
+@rule("obs-ungated", SEV_ERROR,
+      "calls into repro.obs / repro.check handles must sit behind the "
+      "single `is not None` null check so the off path stays one "
+      "comparison and uninstrumented runs cannot crash",
+      scope=SIM_SCOPE)
+def check_gating(ctx: ModuleContext) -> Iterator[Finding]:
+    """Flag handle method calls not dominated by an ``is not None`` test
+    on the same handle expression."""
+    for call in walk_calls(ctx.tree):
+        base = _handle_base(call)
+        if base is None:
+            continue
+        # A bare name that is actually a module alias (e.g. `_check`
+        # bound by `from repro.check import checker as _check`) is a
+        # module call like `_check.active()`, not a handle use.
+        if isinstance(base, ast.Name) and base.id in ctx.import_bound:
+            continue
+        if guards_with_not_none(call, base):
+            continue
+        yield ctx.finding(
+            "obs-ungated", call,
+            f"hook call {ast.unparse(call.func)}(...) is not guarded by "
+            f"`if {ast.unparse(base)} is not None:`")

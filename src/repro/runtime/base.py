@@ -14,11 +14,11 @@ colouring conflicts, relaxed-queue duplicates).
 from __future__ import annotations
 
 import enum
-import os
 from dataclasses import dataclass, field
 from typing import Callable
 
 
+from repro._util import env_float, env_int
 from repro.machine.config import MachineConfig
 from repro.machine.core import Chip
 from repro.machine.costs import WorkCosts
@@ -37,11 +37,10 @@ DEFAULT_MAX_EVENTS = 100_000_000
 
 def _watchdog_budgets() -> tuple[int | None, float | None]:
     """(max_events, max_time) for a region engine, from the environment."""
-    ev = os.environ.get("REPRO_MAX_EVENTS")
-    max_events = DEFAULT_MAX_EVENTS if ev is None else (int(ev) or None)
-    ct = os.environ.get("REPRO_MAX_SIM_CYCLES")
-    max_time = float(ct) if ct else None
-    return max_events, max_time
+    ev = env_int("REPRO_MAX_EVENTS", lo=0)
+    max_events = DEFAULT_MAX_EVENTS if ev is None else (ev or None)
+    max_time = env_float("REPRO_MAX_SIM_CYCLES", lo=0.0)
+    return max_events, max_time or None
 
 __all__ = ["ProgrammingModel", "Schedule", "Partitioner", "TlsMode",
            "RuntimeSpec", "LoopContext"]

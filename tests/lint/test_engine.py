@@ -1,0 +1,212 @@
+"""Engine mechanics: suppressions, baselines, fingerprints, CLI."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.lint.baseline import entries_for, load_baseline, save_baseline
+from repro.lint.engine import lint_paths
+from tests.lint.conftest import rules_fired
+
+_WALLCLOCK = """\
+    import time
+
+    def stamp():
+        return time.time()
+    """
+
+
+# ------------------------------------------------------------- suppressions
+
+
+def test_inline_suppression_with_reason_mutes_finding(run_lint):
+    result = run_lint({"repro/sim/clock.py": """\
+        import time
+
+        def stamp():
+            return time.time()  # repro: ignore[det-wallclock] test fixture
+        """})
+    assert "det-wallclock" not in rules_fired(result)
+    assert len(result.suppressed) == 1
+    assert result.suppressed[0].suppress_reason == "test fixture"
+
+
+def test_comment_line_suppression_covers_next_code_line(run_lint):
+    result = run_lint({"repro/sim/clock.py": """\
+        import time
+
+        def stamp():
+            # repro: ignore[det-wallclock] the rationale can span a
+            # comment block above the offending statement
+            return time.time()
+        """})
+    assert "det-wallclock" not in rules_fired(result)
+    assert len(result.suppressed) == 1
+
+
+def test_suppression_without_reason_is_error(run_lint):
+    result = run_lint({"repro/sim/clock.py": """\
+        import time
+
+        def stamp():
+            return time.time()  # repro: ignore[det-wallclock]
+        """})
+    fired = rules_fired(result)
+    assert "lint-bad-suppression" in fired
+    assert "det-wallclock" in fired          # the suppression did not apply
+
+
+def test_suppression_of_unknown_rule_is_error(run_lint):
+    result = run_lint({"repro/x.py": """\
+        VALUE = 1  # repro: ignore[no-such-rule] whatever
+        """})
+    assert "lint-bad-suppression" in rules_fired(result)
+
+
+def test_unused_suppression_is_warning_not_error(run_lint):
+    result = run_lint({"repro/x.py": """\
+        VALUE = 1  # repro: ignore[det-wallclock] nothing to suppress here
+        """})
+    assert rules_fired(result) == {"lint-unused-suppression"}
+    assert result.ok                          # warnings never fail the run
+
+
+def test_suppression_syntax_in_docstring_is_ignored(run_lint):
+    result = run_lint({"repro/x.py": '''\
+        """Docs may show the syntax: # repro: ignore[det-wallclock] why."""
+        VALUE = 1
+        '''})
+    assert not result.findings
+
+
+# ----------------------------------------------------------------- baselines
+
+
+def test_baseline_roundtrip_grandfathers_findings(run_lint, tmp_path):
+    files = {"repro/sim/clock.py": _WALLCLOCK}
+    first = run_lint(files)
+    assert not first.ok
+    bl_path = tmp_path / "baseline.json"
+    save_baseline(str(bl_path), entries_for(first.errors, "pre-existing"))
+
+    second = run_lint(files, baseline_path=str(bl_path))
+    assert second.ok
+    assert len(second.baselined) == 1
+    assert not second.stale_baseline
+
+
+def test_baseline_survives_line_drift(run_lint, tmp_path):
+    first = run_lint({"repro/sim/clock.py": _WALLCLOCK})
+    bl_path = tmp_path / "baseline.json"
+    save_baseline(str(bl_path), entries_for(first.errors, "pre-existing"))
+
+    drifted = run_lint({"repro/sim/clock.py": """\
+        import time
+
+        EXTRA_PADDING = 1
+
+        def stamp():
+            return time.time()
+        """}, baseline_path=str(bl_path))
+    assert drifted.ok
+    assert len(drifted.baselined) == 1
+
+
+def test_baseline_expires_when_code_changes(run_lint, tmp_path):
+    first = run_lint({"repro/sim/clock.py": _WALLCLOCK})
+    bl_path = tmp_path / "baseline.json"
+    save_baseline(str(bl_path), entries_for(first.errors, "pre-existing"))
+
+    changed = run_lint({"repro/sim/clock.py": """\
+        import time
+
+        def stamp():
+            return float(time.time())
+        """}, baseline_path=str(bl_path))
+    assert not changed.ok                    # new content = new finding
+    assert changed.stale_baseline            # old entry no longer matches
+
+
+def test_save_baseline_is_deterministic(tmp_path, run_lint):
+    result = run_lint({"repro/sim/clock.py": _WALLCLOCK})
+    a, b = tmp_path / "a.json", tmp_path / "b.json"
+    entries = entries_for(result.errors, "r")
+    save_baseline(str(a), entries)
+    save_baseline(str(b), list(reversed(entries)))
+    assert a.read_text() == b.read_text()
+    assert load_baseline(str(a)).keys() == load_baseline(str(b)).keys()
+
+
+# ------------------------------------------------------------------- the CLI
+
+
+def _repo_root() -> Path:
+    return Path(__file__).resolve().parents[2]
+
+
+def _run_cli(args, cwd):
+    env_src = str(_repo_root() / "src")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.experiments.cli", "lint", *args],
+        capture_output=True, text=True, cwd=cwd,
+        env={"PYTHONPATH": env_src, "PATH": "/usr/bin:/bin"})
+
+
+def test_cli_exits_1_on_new_error(tmp_path):
+    (tmp_path / "pyproject.toml").write_text("[project]\n")
+    pkg = tmp_path / "src" / "repro" / "sim"
+    pkg.mkdir(parents=True)
+    (pkg / "clock.py").write_text(
+        "import time\n\ndef stamp():\n    return time.time()\n")
+    proc = _run_cli(["--env-doc", "none"], cwd=tmp_path)
+    assert proc.returncode == 1
+    assert "det-wallclock" in proc.stdout
+
+
+def test_cli_update_baseline_then_clean(tmp_path):
+    (tmp_path / "pyproject.toml").write_text("[project]\n")
+    pkg = tmp_path / "src" / "repro" / "sim"
+    pkg.mkdir(parents=True)
+    (pkg / "clock.py").write_text(
+        "import time\n\ndef stamp():\n    return time.time()\n")
+    no_reason = _run_cli(["--env-doc", "none", "--update-baseline"],
+                         cwd=tmp_path)
+    assert no_reason.returncode == 2         # rationale is mandatory
+    update = _run_cli(["--env-doc", "none", "--update-baseline",
+                       "--reason", "grandfathered for the test"],
+                      cwd=tmp_path)
+    assert update.returncode == 0, update.stderr
+    clean = _run_cli(["--env-doc", "none"], cwd=tmp_path)
+    assert clean.returncode == 0, clean.stdout
+
+
+def test_cli_json_report(tmp_path):
+    (tmp_path / "pyproject.toml").write_text("[project]\n")
+    pkg = tmp_path / "src" / "repro"
+    pkg.mkdir(parents=True)
+    (pkg / "ok.py").write_text("VALUE = 1\n")
+    proc = _run_cli(["--env-doc", "none", "--json", "-", "-q"],
+                    cwd=tmp_path)
+    assert proc.returncode == 0, proc.stderr
+    payload = json.loads(proc.stdout[:proc.stdout.rindex("}") + 1])
+    assert payload["ok"] is True
+    assert payload["files_checked"] == 1
+
+
+# -------------------------------------------------------------- fingerprints
+
+
+def test_duplicate_findings_get_distinct_fingerprints(run_lint):
+    result = run_lint({"repro/sim/clock.py": """\
+        import time
+
+        def stamp():
+            return time.time()
+
+        def stamp2():
+            return time.time()
+        """})
+    fps = [f.fingerprint for f in result.findings
+           if f.rule == "det-wallclock"]
+    assert len(fps) == 2 and len(set(fps)) == 2

@@ -1,0 +1,159 @@
+"""Edge cases for the validated environment parsers in repro._util.
+
+These parsers are the single choke point the ``env-raw-read`` lint rule
+funnels every ``REPRO_*`` read through, so their unset/empty/garbage
+behaviour is a contract: unset and empty mean "use the default", and
+anything unparseable raises a ValueError that names the variable.
+"""
+
+import math
+
+import pytest
+
+from repro._util import env_bool, env_csv, env_float, env_int, env_str
+
+VAR = "REPRO_UTIL_TEST_KNOB"
+
+
+@pytest.fixture(autouse=True)
+def _clean_env(monkeypatch):
+    monkeypatch.delenv(VAR, raising=False)
+
+
+# -------------------------------------------------------------------- env_int
+
+
+def test_env_int_unset_returns_default():
+    assert env_int(VAR) is None
+    assert env_int(VAR, 7) == 7
+
+
+def test_env_int_empty_string_means_unset(monkeypatch):
+    monkeypatch.setenv(VAR, "")
+    assert env_int(VAR, 7) == 7
+
+
+def test_env_int_whitespace_only_means_unset(monkeypatch):
+    monkeypatch.setenv(VAR, "   ")
+    assert env_int(VAR, 7) == 7
+
+
+def test_env_int_garbage_names_the_variable(monkeypatch):
+    monkeypatch.setenv(VAR, "x")
+    with pytest.raises(ValueError, match=VAR):
+        env_int(VAR)
+
+
+def test_env_int_negative_thread_count_rejected(monkeypatch):
+    # The REPRO_JOBS contract: negatives rejected, zero allowed
+    # (executor maps 0 to one job per CPU).
+    monkeypatch.setenv(VAR, "-1")
+    with pytest.raises(ValueError, match=VAR):
+        env_int(VAR, lo=0)
+
+
+def test_env_int_zero_thread_count_allowed(monkeypatch):
+    monkeypatch.setenv(VAR, "0")
+    assert env_int(VAR, lo=0) == 0
+
+
+def test_env_int_float_literal_rejected(monkeypatch):
+    monkeypatch.setenv(VAR, "3.5")
+    with pytest.raises(ValueError, match=VAR):
+        env_int(VAR)
+
+
+def test_env_int_bounds_enforced(monkeypatch):
+    monkeypatch.setenv(VAR, "500")
+    with pytest.raises(ValueError, match=VAR):
+        env_int(VAR, lo=0, hi=100)
+
+
+# ------------------------------------------------------------------ env_float
+
+
+def test_env_float_parses_and_bounds(monkeypatch):
+    monkeypatch.setenv(VAR, "0.25")
+    assert env_float(VAR, lo=0.0, hi=1.0) == 0.25
+
+
+def test_env_float_overflow_to_inf_rejected(monkeypatch):
+    # float("1e999") silently overflows to inf; a budget of infinity is
+    # never a sane configuration, so the parser must refuse it.
+    monkeypatch.setenv(VAR, "1e999")
+    with pytest.raises(ValueError, match=VAR):
+        env_float(VAR)
+
+
+def test_env_float_nan_rejected(monkeypatch):
+    monkeypatch.setenv(VAR, "nan")
+    with pytest.raises(ValueError, match=VAR):
+        env_float(VAR)
+
+
+def test_env_float_unset_and_empty_mean_default(monkeypatch):
+    assert env_float(VAR) is None
+    monkeypatch.setenv(VAR, "")
+    assert env_float(VAR, 0.5) == 0.5
+    assert not math.isinf(env_float(VAR, 0.5))
+
+
+# ------------------------------------------------------------------- env_bool
+
+
+@pytest.mark.parametrize("raw,expected", [
+    ("1", True), ("true", True), ("YES", True), ("On", True),
+    ("0", False), ("false", False), ("NO", False), ("off", False),
+])
+def test_env_bool_tokens(monkeypatch, raw, expected):
+    monkeypatch.setenv(VAR, raw)
+    assert env_bool(VAR) is expected
+
+
+def test_env_bool_garbage_rejected(monkeypatch):
+    monkeypatch.setenv(VAR, "maybe")
+    with pytest.raises(ValueError, match=VAR):
+        env_bool(VAR)
+
+
+def test_env_bool_unset_uses_default():
+    assert env_bool(VAR) is False
+    assert env_bool(VAR, True) is True
+
+
+# -------------------------------------------------------------------- env_str
+
+
+def test_env_str_empty_means_default(monkeypatch):
+    monkeypatch.setenv(VAR, "")
+    assert env_str(VAR) is None
+    assert env_str(VAR, "fallback") == "fallback"
+
+
+def test_env_str_passes_value_through(monkeypatch):
+    monkeypatch.setenv(VAR, "/tmp/store")
+    assert env_str(VAR) == "/tmp/store"
+
+
+# -------------------------------------------------------------------- env_csv
+
+
+def test_env_csv_unset_returns_none():
+    assert env_csv(VAR) is None
+
+
+def test_env_csv_whitespace_only_means_unset(monkeypatch):
+    monkeypatch.setenv(VAR, "   ")
+    assert env_csv(VAR) is None
+
+
+def test_env_csv_bare_separators_are_explicit_empty_list(monkeypatch):
+    # " , ," names a list with no tokens — callers like panel_threads
+    # reject it ("no thread counts") rather than sweeping a default.
+    monkeypatch.setenv(VAR, "  , ,  ")
+    assert env_csv(VAR) == []
+
+
+def test_env_csv_strips_and_drops_empty_fields(monkeypatch):
+    monkeypatch.setenv(VAR, " a, ,b , c ")
+    assert env_csv(VAR) == ["a", "b", "c"]
