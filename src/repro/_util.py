@@ -24,8 +24,8 @@ from numpy.typing import NDArray
 
 __all__ = ["rng_from_seed", "check_positive", "check_nonnegative",
            "as_int_array", "atomic_write_text", "canonical_json",
-           "sha256_hex", "env_float", "env_int", "env_bool", "env_str",
-           "env_csv"]
+           "sha256_hex", "content_checksum", "backoff_delay", "env_float",
+           "env_int", "env_bool", "env_str", "env_csv"]
 
 
 def canonical_json(obj: object) -> str:
@@ -41,9 +41,47 @@ def canonical_json(obj: object) -> str:
                       allow_nan=False)
 
 
-def sha256_hex(text: str) -> str:
-    """Hex SHA-256 of *text* (UTF-8)."""
-    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+def sha256_hex(data: str | bytes) -> str:
+    """Hex SHA-256 of *data* (text is hashed as its UTF-8 bytes).
+
+    Accepting raw bytes matters for file-content hashing: decoding
+    arbitrary source bytes as UTF-8 first would crash on any non-UTF-8
+    file and change the digest of anything not byte-identical to its
+    decoded-and-re-encoded form.
+    """
+    if isinstance(data, str):
+        data = data.encode("utf-8")
+    return hashlib.sha256(data).hexdigest()
+
+
+def content_checksum(obj: object) -> str:
+    """Short (16-hex) SHA-256 over the canonical JSON of *obj*.
+
+    The shared integrity checksum for persisted records: store objects
+    and journal lines both embed ``content_checksum(<record without its
+    checksum field>)`` so a truncated or bit-flipped file is detected on
+    read instead of silently feeding bad data into a report.
+    """
+    return sha256_hex(canonical_json(obj))[:16]
+
+
+def backoff_delay(token: str, attempt: int, base: float = 0.05,
+                  cap: float = 2.0) -> float:
+    """Seeded exponential-backoff delay (seconds) with jitter.
+
+    ``attempt`` is 1-based (the delay before retry *attempt*).  The
+    jitter in ``[1.0, 2.0)`` is drawn from a Generator seeded by
+    ``(token, attempt)`` — no wall-clock entropy, so a replayed schedule
+    produces the identical delay sequence (and the determinism lint has
+    nothing to flag).  The result is capped at *cap*.
+    """
+    check_nonnegative("base", base)
+    check_positive("cap", cap)
+    if attempt < 1:
+        raise ValueError(f"attempt must be >= 1, got {attempt}")
+    seed = int(sha256_hex(f"backoff:{token}:{attempt}")[:16], 16)
+    jitter = 1.0 + float(np.random.default_rng(seed).random())
+    return min(cap, base * (2.0 ** (attempt - 1)) * jitter)
 
 
 def atomic_write_text(path: str | os.PathLike[str], text: str) -> None:

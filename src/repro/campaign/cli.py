@@ -4,15 +4,23 @@ Subcommands (reached through the main ``repro`` entry point)::
 
     repro campaign run SPEC.json [--jobs N] [--store DIR] [--retries R]
                                  [--output results.json] [--summary s.json]
+    repro campaign resume RUN-ID [--jobs N] [--store DIR] [--retries R]
+                                 [--output results.json] [--summary s.json]
     repro campaign status SPEC.json [--store DIR]
-    repro campaign cache {stats|ls|gc|clear} [--store DIR]
-                                 [--max-age DAYS] [--stale-only]
+    repro campaign cache {stats|ls|gc|clear|verify} [--store DIR]
+                                 [--max-age DAYS] [--stale-only] [--repair]
 
-``run`` expands the spec, executes every cell through the parallel
-executor with the content-addressed store enabled, prints a summary and
-optionally writes the per-cell results (sorted keys, no timestamps — a
-repeated run over a warm store is byte-identical) and a machine-readable
-summary with the store's hit/miss statistics (what CI asserts on).
+``run`` expands the spec, executes every cell through the supervised
+parallel executor with the content-addressed store enabled, prints a
+summary and optionally writes the per-cell results (sorted keys, no
+timestamps — a repeated run over a warm store is byte-identical) and a
+machine-readable summary with the store's hit/miss statistics (what CI
+asserts on).  Every run also appends a checksummed write-ahead journal
+under ``<store>/journals/<run-id>/`` — after a crash (``kill -9``,
+power loss), ``resume RUN-ID`` replays it and continues the campaign
+with zero recomputation of completed cells.  ``cache verify`` audits
+every store object's integrity checksum; ``--repair`` quarantines the
+corrupt ones.
 """
 
 from __future__ import annotations
@@ -29,12 +37,15 @@ __all__ = ["main", "run_campaign", "campaign_results_dict"]
 
 
 def run_campaign(spec, *, jobs=None, retries=None, store=None,
-                 progress=False):
+                 progress=False, journal=None, resume=None):
     """Execute every cell of *spec*; returns ``(cells, report)``.
 
     *store* may be a :class:`~repro.campaign.store.ResultStore`, a root
     path, or None for the default store; *retries* defaults to
-    ``REPRO_RETRIES`` (1), matching ``run_panel``.
+    ``REPRO_RETRIES`` (1), matching ``run_panel``.  *journal* (a
+    :class:`~repro.campaign.journal.Journal`) write-ahead-logs the run;
+    *resume* (``cell-id -> value``) serves a previous run's completed
+    cells without recomputation.
     """
     from repro.campaign.executor import execute
     from repro.campaign.runners import run_cell
@@ -50,7 +61,10 @@ def run_campaign(spec, *, jobs=None, retries=None, store=None,
         spec_for=lambda c: c.to_dict(),
         labels_for=lambda c: {"graph": c.graph, "variant": c.variant,
                               "threads": c.threads},
-        progress=progress, desc=f"cells ({spec.name})")
+        progress=progress, desc=f"cells ({spec.name})",
+        journal=journal, resume=resume,
+        key_id=lambda c: c.cell_id,
+        family_for=lambda c: c.experiment)
     return cells, report
 
 
@@ -70,38 +84,40 @@ def campaign_results_dict(spec, cells, report) -> dict:
             "results": results}
 
 
-def _summary_dict(spec, report, store) -> dict:
+def _summary_dict(spec, report, store, run_id=None) -> dict:
     return {
         "campaign": spec.name,
+        "run_id": run_id,
         "cells_total": report.total,
         "hits": report.hits,
+        "resumed": report.resumed,
         "computed": report.computed,
         "failed": report.failed,
         "hit_rate": report.hit_rate,
         "interrupted": report.interrupted,
         "elapsed_seconds": report.elapsed,
+        "resilience": dict(report.resilience),
         "store": {"root": store.root, "fingerprint": store.fingerprint,
                   **store.stats.to_dict()},
     }
 
 
-def _print_summary(spec, report, store) -> None:
+def _print_summary(spec, report, store, run_id=None) -> None:
     status = "interrupted" if report.interrupted else "complete"
     print(f"campaign {spec.name}: {status} — "
           f"{report.total} cell(s) in {report.elapsed:.1f}s")
-    print(f"  store hits {report.hits}, computed {report.computed}, "
-          f"failed {report.failed} (hit-rate {report.hit_rate:.0%})")
+    resumed = f", resumed {report.resumed}" if report.resumed else ""
+    print(f"  store hits {report.hits}{resumed}, "
+          f"computed {report.computed}, failed {report.failed} "
+          f"(hit-rate {report.hit_rate:.0%})")
     print(f"  store {store.root} (code fingerprint {store.fingerprint})")
+    if run_id is not None:
+        print(f"  journal {run_id} (resume with: repro campaign resume "
+              f"{run_id})")
 
 
-def _cmd_run(args) -> int:
-    from repro.campaign.spec import CampaignSpec
-    from repro.campaign.store import ResultStore
-
-    spec = CampaignSpec.from_file(args.spec)
-    store = ResultStore(args.store)
-    cells, report = run_campaign(spec, jobs=args.jobs, retries=args.retries,
-                                 store=store, progress=not args.quiet)
+def _finish_run(args, spec, cells, report, store, run_id) -> int:
+    """Shared tail of ``run``/``resume``: artifacts, summary, exit code."""
     if args.output:
         payload = campaign_results_dict(spec, cells, report)
         atomic_write_text(args.output, json.dumps(payload, sort_keys=True,
@@ -109,12 +125,61 @@ def _cmd_run(args) -> int:
         print(f"[results written to {args.output}]", file=sys.stderr)
     if args.summary:
         atomic_write_text(args.summary, json.dumps(
-            _summary_dict(spec, report, store), sort_keys=True,
+            _summary_dict(spec, report, store, run_id), sort_keys=True,
             indent=1) + "\n")
-    _print_summary(spec, report, store)
+    _print_summary(spec, report, store, run_id)
     if report.interrupted:
         return 130
     return 1 if report.failed else 0
+
+
+def _cmd_run(args) -> int:
+    from repro.campaign.journal import Journal, journal_dir, new_run_id
+    from repro.campaign.spec import CampaignSpec
+    from repro.campaign.store import ResultStore
+
+    spec = CampaignSpec.from_file(args.spec)
+    store = ResultStore(args.store)
+    run_id = new_run_id(store.root, spec.to_dict())
+    with Journal.create(journal_dir(store.root, run_id), run_id=run_id,
+                        campaign=spec.name, spec=spec.to_dict(),
+                        fingerprint=store.fingerprint) as journal:
+        cells, report = run_campaign(
+            spec, jobs=args.jobs, retries=args.retries, store=store,
+            progress=not args.quiet, journal=journal)
+    return _finish_run(args, spec, cells, report, store, run_id)
+
+
+def _cmd_resume(args) -> int:
+    from repro.campaign.journal import Journal, journal_dir, list_runs
+    from repro.campaign.spec import CampaignSpec
+    from repro.campaign.store import ResultStore
+
+    store = ResultStore(args.store)
+    runs = list_runs(store.root)
+    if args.run_id not in runs:
+        known = ", ".join(runs) if runs else "none"
+        raise ValueError(f"no journal for run {args.run_id!r} under "
+                         f"{store.root} (known runs: {known})")
+    journal = Journal.open(journal_dir(store.root, args.run_id))
+    state = journal.replay()
+    if state.fingerprint != store.fingerprint:
+        raise ValueError(
+            f"run {args.run_id} was journaled under code fingerprint "
+            f"{state.fingerprint}, but the tree is now "
+            f"{store.fingerprint} — its results are stale; re-run the "
+            f"campaign instead of resuming")
+    if state.corrupt_at is not None:
+        print(f"[journal corrupt at line {state.corrupt_at}; resuming "
+              f"from the {len(state.completed)} cell(s) before it]",
+              file=sys.stderr)
+    spec = CampaignSpec.from_dict(state.spec)
+    with journal:
+        cells, report = run_campaign(
+            spec, jobs=args.jobs, retries=args.retries, store=store,
+            progress=not args.quiet, journal=journal,
+            resume=state.completed)
+    return _finish_run(args, spec, cells, report, store, args.run_id)
 
 
 def _cmd_status(args) -> int:
@@ -168,6 +233,20 @@ def _cmd_cache(args) -> int:
         print(f"gc: removed {removed} object(s), kept {kept}")
     elif args.action == "clear":
         print(f"clear: removed {store.clear()} object(s)")
+    elif args.action == "verify":
+        report = store.verify(repair=args.repair)
+        print(f"verify: {report.checked} object(s) checked, "
+              f"{report.ok} ok, "
+              f"{len(report.corrupt) + len(report.quarantined)} corrupt"
+              + (f" ({len(report.quarantined)} quarantined)"
+                 if args.repair else ""))
+        for path in report.corrupt:
+            print(f"  corrupt: {path}")
+        for path in report.quarantined:
+            print(f"  quarantined: {path}")
+        if report.corrupt:
+            print("  (re-run with --repair to quarantine)")
+            return 1
     return 0
 
 
@@ -181,17 +260,25 @@ def main(argv=None) -> int:
 
     run_p = sub.add_parser("run", help="execute a campaign spec")
     run_p.add_argument("spec", help="campaign spec JSON file")
-    run_p.add_argument("--jobs", type=int, default=None,
+
+    resume_p = sub.add_parser(
+        "resume", help="continue a crashed/killed run from its journal")
+    resume_p.add_argument("run_id", metavar="RUN-ID",
+                          help="journal run id (printed by `run`; listed "
+                               "under <store>/journals/)")
+
+    for p in (run_p, resume_p):
+        p.add_argument("--jobs", type=int, default=None,
                        help="worker processes (default REPRO_JOBS or 1; "
                             "0 = one per CPU)")
-    run_p.add_argument("--retries", type=int, default=None,
+        p.add_argument("--retries", type=int, default=None,
                        help="per-cell retry budget (default REPRO_RETRIES)")
-    run_p.add_argument("--output", default=None, metavar="PATH",
+        p.add_argument("--output", default=None, metavar="PATH",
                        help="write per-cell results JSON (deterministic "
                             "bytes for identical specs + code)")
-    run_p.add_argument("--summary", default=None, metavar="PATH",
+        p.add_argument("--summary", default=None, metavar="PATH",
                        help="write run summary JSON incl. store hit stats")
-    run_p.add_argument("--quiet", action="store_true",
+        p.add_argument("--quiet", action="store_true",
                        help="suppress the progress/ETA line")
 
     status_p = sub.add_parser("status",
@@ -199,14 +286,17 @@ def main(argv=None) -> int:
     status_p.add_argument("spec", help="campaign spec JSON file")
 
     cache_p = sub.add_parser("cache", help="store maintenance")
-    cache_p.add_argument("action", choices=["stats", "ls", "gc", "clear"])
+    cache_p.add_argument("action", choices=["stats", "ls", "gc", "clear",
+                                            "verify"])
     cache_p.add_argument("--max-age", type=float, default=None,
                          metavar="DAYS", help="gc: also drop entries older "
                                               "than DAYS")
     cache_p.add_argument("--stale-only", action="store_true",
                          help="gc: only drop stale-fingerprint entries")
+    cache_p.add_argument("--repair", action="store_true",
+                         help="verify: quarantine corrupt objects")
 
-    for p in (run_p, status_p, cache_p):
+    for p in (run_p, resume_p, status_p, cache_p):
         p.add_argument("--store", default=None, metavar="DIR",
                        help="store root (default $REPRO_STORE or "
                             "~/.cache/repro)")
@@ -215,6 +305,8 @@ def main(argv=None) -> int:
     try:
         if args.command == "run":
             return _cmd_run(args)
+        if args.command == "resume":
+            return _cmd_resume(args)
         if args.command == "status":
             return _cmd_status(args)
         return _cmd_cache(args)

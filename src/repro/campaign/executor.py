@@ -1,14 +1,25 @@
-"""Parallel sweep executor: a process pool over independent cells.
+"""Parallel sweep executor: supervised worker processes over cells.
 
 Every sweep cell — ``runner(key) -> cycles`` — is pure CPU on immutable
-inputs, so a ``fork``-based :mod:`multiprocessing` pool escapes the GIL
-and computes cells genuinely in parallel while keeping bitwise-identical
-results (each worker re-derives the same seeded simulation the serial
-path would).  The executor owns everything around the runner calls:
+inputs, so ``fork``-ed worker processes escape the GIL and compute cells
+genuinely in parallel while keeping bitwise-identical results (each
+worker re-derives the same seeded simulation the serial path would).
+The executor owns everything around the runner calls:
 
 * **store short-circuit** — keys whose canonical spec is already in the
   content-addressed :class:`~repro.campaign.store.ResultStore` are
-  served as hits without touching the pool;
+  served as hits without touching the workers;
+* **journal replay** — with a :class:`~repro.campaign.journal.Journal`
+  attached, cells completed by an earlier (possibly SIGKILLed) run are
+  served from its write-ahead log with zero recomputation, and every
+  submission/completion/failure is journaled for the next resume;
+* **worker supervision** — parallel execution runs on
+  :class:`~repro.campaign.supervise.Supervisor`: per-worker children
+  tracked by pid + heartbeat sweep, ``REPRO_CELL_TIMEOUT`` deadlines,
+  dead-worker replacement with deterministic requeue, seeded
+  exponential backoff between retries and a per-runner-family circuit
+  breaker — an OOM-killed or segfaulting worker costs one requeue, not
+  a wedged campaign;
 * **bounded retries with NaN semantics** — a cell that keeps raising is
   recorded as NaN with its error string, mirroring
   :func:`repro.experiments.harness.run_panel`'s partial-result contract;
@@ -18,9 +29,10 @@ path would).  The executor owns everything around the runner calls:
 * **progress/ETA** — per-cell completion reporting on stderr (live
   ``\\r`` line on a TTY, every ~10% otherwise);
 * **telemetry** — when a :mod:`repro.obs.metrics` registry is active,
-  ``campaign.cells{status=...}`` counters count hits, computed cells and
-  failures, and serial cells run inside ``registry.cell(...)`` scopes so
-  frames keep their sweep labels.
+  ``campaign.cells{status=...}`` counters count hits, resumed, computed
+  and failed cells (the supervisor adds retry/requeue/timeout/breaker
+  counters), and serial cells run inside ``registry.cell(...)`` scopes
+  so frames keep their sweep labels.
 
 Submission order is deterministic and results are keyed, not ordered, so
 ``--jobs N`` output is bitwise identical to the serial run.
@@ -30,7 +42,6 @@ from __future__ import annotations
 
 import math
 import os
-import signal
 import sys
 import time
 from dataclasses import dataclass, field
@@ -38,12 +49,6 @@ from dataclasses import dataclass, field
 from repro._util import env_int
 
 __all__ = ["ExecutionReport", "execute", "default_jobs"]
-
-#: Sentinel for "no more work" in the submission loop.
-_DONE = object()
-
-#: (runner, retries) inherited by forked pool workers.
-_WORKER: tuple | None = None
 
 
 def default_jobs() -> int:
@@ -63,14 +68,16 @@ class ExecutionReport:
     values: dict = field(default_factory=dict)   # key -> cycles (NaN = failed)
     errors: dict = field(default_factory=dict)   # key -> error string
     hits: int = 0
+    resumed: int = 0          # served from a journal replay, not recomputed
     computed: int = 0
     failed: int = 0
     elapsed: float = 0.0
     interrupted: bool = False
+    resilience: dict = field(default_factory=dict)  # SupervisorStats.to_dict
 
     @property
     def total(self) -> int:
-        return self.hits + self.computed + self.failed
+        return self.hits + self.resumed + self.computed + self.failed
 
     @property
     def hit_rate(self) -> float:
@@ -102,9 +109,21 @@ class _Progress:
                 return
             self._last_done = done
         elapsed = time.time() - self.t0
-        rate = report.computed / elapsed if elapsed > 0 else 0.0
+        # Failed cells took wall-clock too: counting only computed cells
+        # made a mostly-failing campaign's ETA read "-" forever.
+        worked = report.computed + report.failed
+        rate = worked / elapsed if elapsed > 0 else 0.0
         remaining = self.total - done
-        eta = f"{remaining / rate:.0f}s" if rate > 0 and remaining else "-"
+        if not remaining:
+            eta = "-"
+        elif rate > 0:
+            eta = f"{remaining / rate:.0f}s"
+        elif done > 0:
+            # Every cell so far was a hit/resume — the remainder is
+            # served at store speed, not compute speed.
+            eta = "0s"
+        else:
+            eta = "-"
         line = (f"[campaign] {done}/{self.total} {self.desc} | "
                 f"{report.hits} hits, {report.failed} failed | "
                 f"{rate:.1f} cells/s | eta {eta}")
@@ -113,28 +132,6 @@ class _Progress:
             print(f"\r\x1b[2K{line}", end=end, file=self.stream, flush=True)
         else:
             print(line, file=self.stream, flush=True)
-
-
-def _attempt(runner, key, retries: int):
-    """Run one cell with bounded retries: ``(value, error_string|None)``."""
-    error = None
-    for _ in range(1 + retries):
-        try:
-            return float(runner(key)), None
-        except Exception as exc:  # noqa: BLE001 — cell isolation is the point
-            error = exc
-    return float("nan"), f"{type(error).__name__}: {error}"
-
-
-def _pool_initializer() -> None:
-    """Workers ignore SIGINT so the parent can drain in-flight cells."""
-    signal.signal(signal.SIGINT, signal.SIG_IGN)
-
-
-def _pool_run(key):
-    runner, retries = _WORKER
-    value, error = _attempt(runner, key, retries)
-    return key, value, error
 
 
 def _fork_context():
@@ -148,7 +145,8 @@ def _fork_context():
 def execute(runner, keys, *, jobs: int | None = None, retries: int = 0,
             on_error: str = "nan", store=None, spec_for=None,
             labels_for=None, progress: bool = False, on_cell=None,
-            desc: str = "cells") -> ExecutionReport:
+            desc: str = "cells", journal=None, resume=None, key_id=None,
+            family_for=None, timeout=None) -> ExecutionReport:
     """Run ``runner(key) -> cycles`` over *keys*, optionally in parallel.
 
     Parameters mirror the harness' resilience contract: *retries* is the
@@ -160,9 +158,17 @@ def execute(runner, keys, *, jobs: int | None = None, retries: int = 0,
     parent for every completed cell (checkpoint writers hook in here);
     *labels_for* (``key -> dict``) labels serial cells' telemetry frames.
 
+    Crash safety: *journal* (a :class:`~repro.campaign.journal.Journal`)
+    records every submitted/completed/failed cell as a checksummed WAL
+    line; *resume* (``cell-id -> value`` from a replay) serves
+    already-completed cells without recomputation; *key_id*
+    (``key -> str``, default ``str``) names cells in the journal and
+    seeds retry backoff; *family_for* (``key -> str``) groups cells for
+    the circuit breaker; *timeout* overrides ``REPRO_CELL_TIMEOUT``.
+
     On Ctrl-C the report comes back partial with ``interrupted=True``
-    (completed cells are already persisted through *store*/*on_cell*);
-    callers decide whether to re-raise.
+    (completed cells are already persisted through
+    *store*/*journal*/*on_cell*); callers decide whether to re-raise.
     """
     from repro.obs import metrics as _obs_metrics
 
@@ -176,6 +182,8 @@ def execute(runner, keys, *, jobs: int | None = None, retries: int = 0,
         raise ValueError(f"retries must be >= 0, got {retries}")
     if on_error not in ("nan", "raise"):
         raise ValueError(f"on_error must be 'nan' or 'raise', got {on_error!r}")
+    if key_id is None:
+        key_id = str
 
     report = ExecutionReport()
     registry = _obs_metrics.active()
@@ -191,9 +199,13 @@ def execute(runner, keys, *, jobs: int | None = None, retries: int = 0,
             report.errors[key] = error
             report.failed += 1
             count("failed")
+            if journal is not None:
+                journal.failed(key_id(key), error)
         else:
             report.computed += 1
             count("computed")
+            if journal is not None:
+                journal.completed(key_id(key), value)
             if store is not None and spec_for is not None \
                     and math.isfinite(value):
                 store.put(spec_for(key), value)
@@ -201,9 +213,19 @@ def execute(runner, keys, *, jobs: int | None = None, retries: int = 0,
             on_cell(key, value)
         meter.update(report)
 
-    # Store short-circuit: serve cached cells without touching the pool.
+    # Replay/store short-circuit: serve journaled completions from the
+    # previous (crashed) run first, then warm store entries — neither
+    # touches a worker.
     work = []
     for key in keys:
+        if resume is not None and key_id(key) in resume:
+            report.values[key] = resume[key_id(key)]
+            report.resumed += 1
+            count("resumed")
+            if on_cell is not None:
+                on_cell(key, report.values[key])
+            meter.update(report)
+            continue
         cached = store.get(spec_for(key)) if store is not None \
             and spec_for is not None else None
         if cached is not None:
@@ -216,21 +238,31 @@ def execute(runner, keys, *, jobs: int | None = None, retries: int = 0,
         else:
             work.append(key)
 
+    if journal is not None:
+        for key in work:
+            journal.submitted(key_id(key))
+
     t0 = time.time()
     ctx = _fork_context() if jobs > 1 else None
     if jobs > 1 and ctx is None:
         print("[campaign] fork start method unavailable; running serially",
               file=sys.stderr)
     try:
-        if ctx is not None and len(work) > 1:
+        # Even a single remaining cell goes through supervision when
+        # parallel mode is on: the timeout/requeue machinery is the
+        # point, not just the parallelism.
+        if ctx is not None and work:
             _execute_pool(runner, work, ctx, min(jobs, len(work)), retries,
-                          record, report)
+                          record, report, key_id=key_id,
+                          family_for=family_for, timeout=timeout)
         else:
             _execute_serial(runner, work, retries, on_error, labels_for,
                             registry, record, report)
     finally:
         report.elapsed = time.time() - t0
         meter.update(report, final=True)
+        if journal is not None:
+            journal.end(interrupted=report.interrupted)
 
     if report.errors and on_error == "raise":
         key, error = next(iter(report.errors.items()))
@@ -267,38 +299,25 @@ def _execute_serial(runner, work, retries, on_error, labels_for, registry,
             return
 
 
-def _execute_pool(runner, work, ctx, jobs, retries, record, report) -> None:
-    """Sliding-window pool execution with graceful Ctrl-C draining."""
-    global _WORKER
-    _WORKER = (runner, retries)  # inherited by the forked workers
-    pool = ctx.Pool(processes=jobs, initializer=_pool_initializer)
+def _execute_pool(runner, work, ctx, jobs, retries, record, report, *,
+                  key_id=str, family_for=None, timeout=None) -> None:
+    """Supervised parallel execution with graceful Ctrl-C draining.
+
+    The heavy lifting — worker lifecycle, heartbeat sweeps, timeouts,
+    requeues, backoff, the circuit breaker — lives in
+    :class:`~repro.campaign.supervise.Supervisor`; this wrapper adapts
+    its callback to the executor's ``record`` contract and mirrors the
+    interrupt/stats state onto the report.
+    """
+    from repro.campaign.supervise import Supervisor
+
+    supervisor = Supervisor(runner, ctx, jobs, retries=retries,
+                            timeout=timeout, key_id=key_id,
+                            family_for=family_for)
     try:
-        it = iter(work)
-        next_key = next(it, _DONE)
-        outstanding = {}
-        while outstanding or (next_key is not _DONE
-                              and not report.interrupted):
-            try:
-                while not report.interrupted and next_key is not _DONE \
-                        and len(outstanding) < jobs:
-                    outstanding[next_key] = pool.apply_async(
-                        _pool_run, (next_key,))
-                    next_key = next(it, _DONE)
-                ready = [k for k, ar in outstanding.items() if ar.ready()]
-                if not ready:
-                    time.sleep(0.005)
-                    continue
-                for k in ready:
-                    _, value, error = outstanding.pop(k).get()
-                    record(k, value, error)
-            except KeyboardInterrupt:
-                if report.interrupted:
-                    raise  # second Ctrl-C: abort hard
-                report.interrupted = True
-                print(f"\n[campaign] interrupted — draining "
-                      f"{len(outstanding)} in-flight cell(s) "
-                      f"(Ctrl-C again to abort)", file=sys.stderr)
+        report.interrupted = supervisor.run(work, record)
+    except KeyboardInterrupt:
+        report.interrupted = True
+        raise  # second Ctrl-C: abort hard (workers already killed)
     finally:
-        _WORKER = None
-        pool.terminate()
-        pool.join()
+        report.resilience = supervisor.stats.to_dict()

@@ -11,11 +11,18 @@ Layout (git-style fan-out under the root, default ``~/.cache/repro`` or
 
     <root>/objects/<key[:2]>/<key[2:]>.json
 
-Each object file holds ``{"spec": ..., "value": ..., "fingerprint": ...}``
-and is written atomically (:func:`repro._util.atomic_write_text`), so a
-killed run never leaves a corrupt entry.  Non-finite values (failed
-cells) are deliberately *not* stored — a failure should be retried on
-the next run, not cached.
+Each object file holds ``{"spec": ..., "value": ..., "fingerprint": ...,
+"checksum": ...}`` and is written atomically
+(:func:`repro._util.atomic_write_text`), so a killed run never leaves a
+half-written entry.  The ``checksum`` — a content hash over the rest of
+the record — is verified on every read: an object that was truncated or
+bit-flipped *after* a successful write (disk fault, concurrent
+corruption, manual tampering) is detected, **moved to
+``<root>/quarantine/``** for post-mortem and treated as a miss, so the
+cell is recomputed instead of poisoning a report.  ``repro campaign
+cache verify [--repair]`` audits the whole store the same way.
+Non-finite values (failed cells) are deliberately *not* stored — a
+failure should be retried on the next run, not cached.
 """
 
 from __future__ import annotations
@@ -25,10 +32,10 @@ import os
 import time
 from dataclasses import dataclass, field
 
-from repro._util import (atomic_write_text, canonical_json, env_str,
-                         sha256_hex)
+from repro._util import (atomic_write_text, canonical_json,
+                         content_checksum, env_str, sha256_hex)
 
-__all__ = ["ResultStore", "StoreStats", "code_fingerprint",
+__all__ = ["ResultStore", "StoreStats", "VerifyReport", "code_fingerprint",
            "default_store_root", "DEFAULT_STORE_ROOT"]
 
 #: Fallback store location when neither ``--store`` nor ``REPRO_STORE``
@@ -59,8 +66,10 @@ def code_fingerprint() -> str:
                     full = os.path.join(dirpath, fn)
                     sources.append((os.path.relpath(full, pkg_dir), full))
         for rel, full in sorted(sources):
+            # Hash the file bytes directly: decoding as UTF-8 first
+            # crashed the whole store on any non-UTF-8 source file.
             with open(full, "rb") as fh:
-                parts.append(f"{rel}:{sha256_hex(fh.read().decode('utf-8'))}")
+                parts.append(f"{rel}:{sha256_hex(fh.read())}")
         _FINGERPRINT = sha256_hex("\n".join(parts))[:16]
     return _FINGERPRINT
 
@@ -78,12 +87,27 @@ class StoreStats:
     misses: int = 0
     puts: int = 0
     corrupt: int = 0
+    quarantined: int = 0
     skipped_nonfinite: int = 0
 
     def to_dict(self) -> dict:
         return {"hits": self.hits, "misses": self.misses, "puts": self.puts,
-                "corrupt": self.corrupt,
+                "corrupt": self.corrupt, "quarantined": self.quarantined,
                 "skipped_nonfinite": self.skipped_nonfinite}
+
+
+@dataclass
+class VerifyReport:
+    """Outcome of one :meth:`ResultStore.verify` audit."""
+
+    checked: int = 0
+    ok: int = 0
+    corrupt: list = field(default_factory=list)      # paths still in place
+    quarantined: list = field(default_factory=list)  # paths moved away
+
+    @property
+    def clean(self) -> bool:
+        return not self.corrupt and not self.quarantined
 
 
 @dataclass
@@ -125,20 +149,49 @@ class ResultStore:
     def _path(self, key: str) -> str:
         return os.path.join(self.root, "objects", key[:2], f"{key[2:]}.json")
 
+    def _quarantine_path(self, path: str) -> str:
+        prefix = os.path.basename(os.path.dirname(path))
+        return os.path.join(self.root, "quarantine",
+                            prefix + os.path.basename(path))
+
     # ----- read/write ------------------------------------------------------
 
-    def _read(self, path: str) -> dict | None:
+    def _quarantine(self, path: str) -> str | None:
+        """Move a corrupt object out of the reachable tree; returns the
+        quarantine path (None when the move itself failed)."""
+        target = self._quarantine_path(path)
+        try:
+            os.makedirs(os.path.dirname(target), exist_ok=True)
+            os.replace(path, target)
+        except OSError:
+            return None
+        self.stats.quarantined += 1
+        return target
+
+    def _read(self, path: str, quarantine: bool = False) -> dict | None:
+        """Parse + integrity-check one object file.
+
+        A structurally invalid object or a checksum mismatch counts as
+        corrupt; with *quarantine* the file is also moved to
+        ``<root>/quarantine/`` so the next run recomputes the cell
+        instead of tripping over the same bad bytes.
+        """
         import json
         try:
             with open(path, "r", encoding="utf-8") as fh:
                 data = json.load(fh)
             if not isinstance(data, dict) or "value" not in data:
                 raise ValueError("not a store object")
+            recorded = data.pop("checksum", None)
+            if recorded != content_checksum(data):
+                raise ValueError("checksum mismatch")
             return data
         except OSError:
             return None
         except ValueError:
             self.stats.corrupt += 1
+            if quarantine:
+                self._quarantine(path)
             return None
 
     def contains(self, spec: dict) -> bool:
@@ -146,8 +199,13 @@ class ResultStore:
         return self._read(self._path(self.key(spec))) is not None
 
     def get(self, spec: dict) -> float | None:
-        """Cached value for *spec*, or None on a miss."""
-        data = self._read(self._path(self.key(spec)))
+        """Cached value for *spec*, or None on a miss.
+
+        A corrupt object is quarantined and reported as a miss — the
+        caller recomputes the cell and the damaged bytes are preserved
+        under ``<root>/quarantine/`` for inspection.
+        """
+        data = self._read(self._path(self.key(spec)), quarantine=True)
         if data is None:
             self.stats.misses += 1
             return None
@@ -167,12 +225,52 @@ class ResultStore:
         key = self.key(spec)
         path = self._path(key)
         os.makedirs(os.path.dirname(path), exist_ok=True)
-        atomic_write_text(path, canonical_json(
-            {"spec": spec, "value": value, "fingerprint": self.fingerprint}))
+        record = {"spec": spec, "value": value,
+                  "fingerprint": self.fingerprint}
+        record["checksum"] = content_checksum(
+            {"spec": spec, "value": value, "fingerprint": self.fingerprint})
+        atomic_write_text(path, canonical_json(record))
         self.stats.puts += 1
         return key
 
-    # ----- maintenance surface (ls / gc / clear) ---------------------------
+    # ----- maintenance surface (ls / gc / clear / verify) ------------------
+
+    def _object_paths(self) -> list[str]:
+        """Every object file under the store, readable or not, sorted."""
+        out = []
+        objects = os.path.join(self.root, "objects")
+        if not os.path.isdir(objects):
+            return out
+        for prefix in sorted(os.listdir(objects)):
+            subdir = os.path.join(objects, prefix)
+            if not os.path.isdir(subdir):
+                continue
+            out.extend(os.path.join(subdir, fn)
+                       for fn in sorted(os.listdir(subdir))
+                       if fn.endswith(".json"))
+        return out
+
+    def verify(self, repair: bool = False) -> VerifyReport:
+        """Audit every object's integrity checksum.
+
+        Unlike :meth:`entries` this walks *raw files*, so objects too
+        damaged to parse are found too.  With *repair* each corrupt
+        object is moved to ``<root>/quarantine/``; without it they are
+        only reported (the store is left untouched).
+        """
+        report = VerifyReport()
+        for path in self._object_paths():
+            report.checked += 1
+            if self._read(path) is not None:
+                report.ok += 1
+                continue
+            if repair:
+                target = self._quarantine(path)
+                if target is not None:
+                    report.quarantined.append(path)
+                    continue
+            report.corrupt.append(path)
+        return report
 
     def entries(self) -> list[StoreEntry]:
         """Every readable object in the store, sorted by key."""

@@ -24,7 +24,11 @@ Campaigns (``repro.campaign``):
   executor and a content-addressed result store;
 * ``--jobs N`` computes any figure's sweep cells on N worker processes
   (bitwise-identical to the serial run); ``--store DIR`` caches every
-  finished cell so repeated figure/ablation/CI runs recompute nothing.
+  finished cell so repeated figure/ablation/CI runs recompute nothing;
+* ``repro chaos SPEC.json`` delegates to :mod:`repro.campaign.chaos` —
+  runs a campaign under injected process faults (worker SIGKILL, runner
+  hangs/exceptions, store corruption) and fails unless the report is
+  byte-identical to a clean serial run.
 
 Static analysis (``repro.lint``):
 
@@ -77,6 +81,9 @@ def main(argv=None) -> int:
     if argv and argv[0] == "campaign":
         from repro.campaign.cli import main as campaign_main
         return campaign_main(list(argv[1:]))
+    if argv and argv[0] == "chaos":
+        from repro.campaign.chaos import main as chaos_main
+        return chaos_main(list(argv[1:]))
     if argv and argv[0] == "check":
         from repro.check.cli import main as check_main
         return check_main(list(argv[1:]))

@@ -1,0 +1,116 @@
+"""Chaos harness: env fault hooks, victim selection, the e2e protocol."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.campaign.chaos import (ChaosInjectedError, _pick_victims,
+                                  chaos_run_cell, main, run_chaos)
+from repro.campaign.runners import run_cell
+from repro.campaign.spec import CampaignSpec
+
+
+SPEC = {"name": "chaos-test", "experiment": "coloring",
+        "graphs": ["auto"], "variants": ["OpenMP-dynamic"],
+        "threads": [1, 2, 11], "seeds": [0],
+        "params": {"ordering": "natural"}}
+
+
+@pytest.fixture
+def spec(monkeypatch):
+    monkeypatch.setenv("REPRO_FAST", "1")
+    return CampaignSpec.from_dict(SPEC)
+
+
+class TestFaultHooks:
+    def test_fail_fires_exactly_once(self, tmp_path, monkeypatch, spec):
+        cell = spec.expand()[0]
+        monkeypatch.setenv("REPRO_CHAOS_DIR", str(tmp_path))
+        monkeypatch.setenv("REPRO_CHAOS_FAIL_CELLS", cell.cell_id)
+        with pytest.raises(ChaosInjectedError):
+            chaos_run_cell(cell)
+        # The marker is claimed: the retry computes the clean value.
+        assert chaos_run_cell(cell) == run_cell(cell)
+
+    def test_no_chaos_dir_means_no_faults(self, monkeypatch, spec):
+        cell = spec.expand()[0]
+        monkeypatch.delenv("REPRO_CHAOS_DIR", raising=False)
+        monkeypatch.setenv("REPRO_CHAOS_FAIL_CELLS", cell.cell_id)
+        assert chaos_run_cell(cell) == run_cell(cell)
+
+    def test_other_cells_untouched(self, tmp_path, monkeypatch, spec):
+        victim, bystander = spec.expand()[:2]
+        monkeypatch.setenv("REPRO_CHAOS_DIR", str(tmp_path))
+        monkeypatch.setenv("REPRO_CHAOS_FAIL_CELLS", victim.cell_id)
+        assert chaos_run_cell(bystander) == run_cell(bystander)
+
+    def test_accepts_cell_dicts(self, tmp_path, monkeypatch, spec):
+        cell = spec.expand()[0]
+        monkeypatch.setenv("REPRO_CHAOS_DIR", str(tmp_path))
+        monkeypatch.setenv("REPRO_CHAOS_FAIL_CELLS", cell.cell_id)
+        with pytest.raises(ChaosInjectedError):
+            chaos_run_cell(cell.to_dict())
+
+
+class TestVictimSelection:
+    def test_deterministic_and_disjoint(self, spec):
+        cells = spec.expand()
+        first = _pick_victims(cells, np.random.default_rng(7), 1, 1, 1)
+        again = _pick_victims(cells, np.random.default_rng(7), 1, 1, 1)
+        assert first == again
+        kills, hangs, fails = first
+        chosen = kills + hangs + fails
+        assert len(set(chosen)) == len(chosen)  # no cell faulted twice
+        ids = {c.cell_id for c in cells}
+        assert all(v in ids for v in chosen)
+
+    def test_clamped_to_available_cells(self, spec):
+        cells = spec.expand()  # 3 cells
+        kills, hangs, fails = _pick_victims(
+            cells, np.random.default_rng(0), 5, 5, 5)
+        assert len(kills) + len(hangs) + len(fails) == len(cells)
+
+
+class TestEndToEnd:
+    def test_protocol_via_cli(self, tmp_path, monkeypatch, capsys):
+        """One full chaos run through ``repro chaos``: kill + hang +
+        exception + truncation, byte-identity both phases."""
+        monkeypatch.setenv("REPRO_FAST", "1")
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps(SPEC))
+        report_path = tmp_path / "report.json"
+        code = main([str(spec_path), "--workdir", str(tmp_path / "work"),
+                     "--timeout", "5", "--seed", "3", "--quiet",
+                     "--json", str(report_path)])
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "chaos verdict: OK" in out
+        report = json.loads(report_path.read_text())
+        assert report["ok"]
+        assert report["chaos_identical"] and report["warm_identical"]
+        assert report["kills"] and report["hangs"] and report["fails"]
+        assert report["quarantined"] >= len(report["truncated"]) >= 1
+        res = report["resilience"]
+        assert res["worker_deaths"] >= 1
+        assert res["timeouts"] >= 1
+
+    def test_bad_spec_exits_2(self, tmp_path, capsys):
+        code = main([str(tmp_path / "missing.json")])
+        assert code == 2
+        assert "repro chaos" in capsys.readouterr().err
+
+
+class TestReportVerdict:
+    def test_ok_requires_identity_and_injection(self, spec):
+        from repro.campaign.chaos import ChaosReport
+        report = ChaosReport(cells=3, kills=["a"], chaos_identical=True,
+                             warm_identical=True)
+        assert report.ok
+        assert not ChaosReport(cells=3, chaos_identical=True,
+                               warm_identical=True).ok  # nothing injected
+        assert not ChaosReport(cells=3, kills=["a"], chaos_identical=False,
+                               warm_identical=True).ok
+        broken = ChaosReport(cells=3, truncated=["p"], chaos_identical=True,
+                             warm_identical=True, quarantined=0)
+        assert not broken.ok  # corruption injected but never caught

@@ -78,6 +78,76 @@ class TestStatus:
         assert "2 cached, 0 pending" in capsys.readouterr().out
 
 
+class TestResume:
+    def test_run_then_resume_recomputes_nothing(self, tmp_path, spec_file,
+                                                capsys):
+        store = str(tmp_path / "store")
+        sum1, sum2 = tmp_path / "s1.json", tmp_path / "s2.json"
+        out1, out2 = tmp_path / "r1.json", tmp_path / "r2.json"
+        assert main(["run", str(spec_file), "--store", store, "--quiet",
+                     "--summary", str(sum1), "--output", str(out1)]) == 0
+        run_id = json.loads(sum1.read_text())["run_id"]
+        assert "resume with: repro campaign resume" in \
+            capsys.readouterr().out
+
+        assert main(["resume", run_id, "--store", store, "--quiet",
+                     "--summary", str(sum2), "--output", str(out2)]) == 0
+        s2 = json.loads(sum2.read_text())
+        assert s2["resumed"] == 2
+        assert s2["computed"] == 0 and s2["hits"] == 0
+        assert s2["run_id"] == run_id
+        # The resumed run regenerates the exact same results artifact.
+        assert out1.read_bytes() == out2.read_bytes()
+
+    def test_unknown_run_id_exits_2(self, tmp_path, capsys):
+        assert main(["resume", "deadbeef-1", "--store",
+                     str(tmp_path / "store")]) == 2
+        assert "no journal for run" in capsys.readouterr().err
+
+    def test_stale_fingerprint_refused(self, tmp_path, spec_file, capsys):
+        from repro.campaign.journal import Journal, journal_dir
+        from repro.campaign.spec import CampaignSpec
+
+        store = str(tmp_path / "store")
+        spec = CampaignSpec.from_file(str(spec_file))
+        run_id = "12345678-1"
+        Journal.create(journal_dir(store, run_id), run_id=run_id,
+                       campaign=spec.name, spec=spec.to_dict(),
+                       fingerprint="0" * 16).close()
+        assert main(["resume", run_id, "--store", store]) == 2
+        assert "stale" in capsys.readouterr().err
+
+
+class TestCacheVerify:
+    def corrupt_one(self, store_dir):
+        import os
+        objects = os.path.join(store_dir, "objects")
+        prefix = sorted(os.listdir(objects))[0]
+        subdir = os.path.join(objects, prefix)
+        path = os.path.join(subdir, sorted(os.listdir(subdir))[0])
+        with open(path, "a") as fh:
+            fh.write("garbage")
+        return path
+
+    def test_verify_flags_corruption_then_repairs(self, tmp_path,
+                                                  spec_file, capsys):
+        store = str(tmp_path / "store")
+        main(["run", str(spec_file), "--store", store, "--quiet"])
+        capsys.readouterr()
+
+        assert main(["cache", "verify", "--store", store]) == 0
+        assert "2 ok, 0 corrupt" in capsys.readouterr().out
+
+        self.corrupt_one(store)
+        assert main(["cache", "verify", "--store", store]) == 1
+        out = capsys.readouterr().out
+        assert "1 ok, 1 corrupt" in out and "--repair" in out
+
+        assert main(["cache", "verify", "--repair", "--store", store]) == 0
+        assert "1 quarantined" in capsys.readouterr().out
+        assert main(["cache", "verify", "--store", store]) == 0
+
+
 class TestCache:
     def test_stats_ls_gc_clear(self, tmp_path, spec_file, capsys):
         store = str(tmp_path / "store")

@@ -203,3 +203,140 @@ class TestReportShape:
         r = ExecutionReport(hits=3, computed=6, failed=1)
         assert r.total == 10
         assert r.hit_rate == pytest.approx(0.3)
+
+    def test_resumed_counts_toward_total(self):
+        r = ExecutionReport(hits=1, resumed=2, computed=3)
+        assert r.total == 6
+
+
+class TestInterrupt:
+    def test_serial_first_sigint_returns_partial(self):
+        def interrupting(key):
+            if key == 3:
+                raise KeyboardInterrupt
+            return runner(key)
+
+        report = execute(interrupting, KEYS, jobs=1)
+        assert report.interrupted
+        assert report.values == {1: runner(1), 2: runner(2)}
+        assert report.elapsed >= 0.0  # the finally path still ran
+
+    def test_pool_first_sigint_drains_and_persists_partial(self, tmp_path):
+        import time
+
+        store = ResultStore(tmp_path)
+        fired = {"n": 0}
+
+        def on_cell(key, value):
+            fired["n"] += 1
+            if fired["n"] == 1:
+                raise KeyboardInterrupt
+
+        def slow(key):
+            time.sleep(0.05)
+            return runner(key)
+
+        report = execute(slow, KEYS, jobs=2, on_cell=on_cell, store=store,
+                         spec_for=lambda k: {"cell": k})
+        assert report.interrupted
+        # Partial: at least the interrupting cell, not the whole sweep.
+        assert 1 <= len(report.values) < len(KEYS)
+        assert all(report.values[k] == runner(k) for k in report.values)
+        # Every completed cell was persisted before the drain finished.
+        assert all(store.contains({"cell": k}) for k in report.values)
+
+    def test_pool_second_sigint_aborts_hard(self):
+        import time
+
+        def on_cell(key, value):
+            raise KeyboardInterrupt
+
+        def slow(key):
+            time.sleep(0.05)
+            return runner(key)
+
+        with pytest.raises(KeyboardInterrupt):
+            execute(slow, KEYS, jobs=2, on_cell=on_cell)
+
+
+class TestResume:
+    def test_resumed_cells_skip_the_runner(self):
+        calls = []
+
+        def spy(key):
+            calls.append(key)
+            return runner(key)
+
+        resume = {str(k): runner(k) for k in KEYS[:4]}
+        report = execute(spy, KEYS, jobs=1, resume=resume)
+        assert calls == KEYS[4:]
+        assert report.resumed == 4 and report.computed == 2
+        assert report.values == {k: runner(k) for k in KEYS}
+
+    def test_resume_takes_priority_over_store(self, tmp_path):
+        store = ResultStore(tmp_path)
+        spec_for = lambda k: {"cell": k}  # noqa: E731
+        execute(runner, KEYS, jobs=1, store=store, spec_for=spec_for)
+        resume = {str(KEYS[0]): -1.0}  # journal says something else
+        report = execute(runner, KEYS, jobs=1, store=store,
+                         spec_for=spec_for, resume=resume)
+        assert report.values[KEYS[0]] == -1.0
+        assert report.resumed == 1 and report.hits == len(KEYS) - 1
+
+
+class TestJournalIntegration:
+    def test_journal_records_then_resume_recomputes_nothing(self, tmp_path):
+        from repro.campaign.journal import Journal
+
+        journal = Journal.create(tmp_path / "run", run_id="aaaaaaaa-1",
+                                 campaign="t", spec={"s": 1},
+                                 fingerprint="f")
+        with journal:
+            def flaky(key):
+                if key == 2:
+                    raise RuntimeError("boom")
+                return runner(key)
+
+            execute(flaky, KEYS, jobs=1, journal=journal)
+        state = Journal.open(tmp_path / "run").replay()
+        assert state.ended and not state.dropped_tail
+        assert set(state.submitted) == {str(k) for k in KEYS}
+        assert state.completed == {str(k): runner(k)
+                                   for k in KEYS if k != 2}
+        assert "boom" in state.failed["2"]
+
+        calls = []
+
+        def spy(key):
+            calls.append(key)
+            return runner(key)
+
+        second = execute(spy, KEYS, jobs=1, resume=state.completed)
+        assert calls == [2]  # only the journaled failure is recomputed
+        assert second.resumed == len(KEYS) - 1
+
+
+class TestProgressEta:
+    def line(self, report, total=4):
+        import io
+        from repro.campaign.executor import _Progress
+
+        meter = _Progress(total, "cells", enabled=True)
+        meter.stream = io.StringIO()
+        meter.tty = False
+        meter.step = 1
+        meter.t0 -= 1.0  # pretend a second has elapsed
+        meter.update(report)
+        return meter.stream.getvalue()
+
+    def test_failed_cells_count_toward_rate(self):
+        line = self.line(ExecutionReport(computed=1, failed=1))
+        assert "eta -" not in line  # worked=2 over ~1s gives a real ETA
+
+    def test_all_hits_so_far_reads_eta_zero(self):
+        line = self.line(ExecutionReport(hits=2))
+        assert "eta 0s" in line
+
+    def test_nothing_done_yet_reads_dash(self):
+        line = self.line(ExecutionReport(), total=4)
+        assert line == "" or "eta -" in line

@@ -1,0 +1,145 @@
+"""Crash-safe journal: WAL roundtrip, corruption handling, run IDs."""
+
+import os
+
+import pytest
+
+from repro.campaign.journal import (JOURNAL_FILENAME, Journal, JournalError,
+                                    journal_dir, list_runs, new_run_id)
+
+
+SPEC = {"name": "j-test", "experiment": "coloring", "graphs": ["auto"],
+        "variants": ["OpenMP-dynamic"], "threads": [1], "seeds": [0]}
+
+
+def make(tmp_path, run_id="abcd1234-1"):
+    return Journal.create(tmp_path / run_id, run_id=run_id,
+                          campaign="j-test", spec=SPEC, fingerprint="f" * 16)
+
+
+class TestRoundtrip:
+    def test_full_lifecycle_replays(self, tmp_path):
+        with make(tmp_path) as journal:
+            journal.submitted("cell-a")
+            journal.submitted("cell-b")
+            journal.completed("cell-a", 123.5)
+            journal.failed("cell-b", "RuntimeError: boom")
+            journal.end(interrupted=False)
+        state = Journal.open(tmp_path / "abcd1234-1").replay()
+        assert state.run_id == "abcd1234-1"
+        assert state.campaign == "j-test"
+        assert state.spec == SPEC
+        assert state.fingerprint == "f" * 16
+        assert state.completed == {"cell-a": 123.5}
+        assert state.failed == {"cell-b": "RuntimeError: boom"}
+        assert state.submitted == ["cell-a", "cell-b"]
+        assert state.ended
+        assert not state.dropped_tail and state.corrupt_at is None
+
+    def test_completed_overrides_earlier_failure(self, tmp_path):
+        with make(tmp_path) as journal:
+            journal.failed("cell-a", "transient")
+            journal.completed("cell-a", 7.0)
+        state = Journal.open(tmp_path / "abcd1234-1").replay()
+        assert state.completed == {"cell-a": 7.0}
+        assert state.failed == {}
+
+    def test_values_roundtrip_exactly(self, tmp_path):
+        value = 1234.5678901234567  # full float64 precision
+        with make(tmp_path) as journal:
+            journal.completed("cell-a", value)
+        state = Journal.open(tmp_path / "abcd1234-1").replay()
+        assert state.completed["cell-a"] == value
+
+
+class TestCorruption:
+    def path(self, tmp_path):
+        return tmp_path / "abcd1234-1" / JOURNAL_FILENAME
+
+    def test_truncated_final_line_is_dropped(self, tmp_path):
+        with make(tmp_path) as journal:
+            journal.completed("cell-a", 1.0)
+            journal.completed("cell-b", 2.0)
+        # Simulate a kill -9 mid-append: a partial line with no newline.
+        with open(self.path(tmp_path), "a", encoding="utf-8") as fh:
+            fh.write('{"type": "completed", "cell": "cell-c", "va')
+        state = Journal.open(tmp_path / "abcd1234-1").replay()
+        assert state.dropped_tail
+        assert state.corrupt_at is None
+        assert state.completed == {"cell-a": 1.0, "cell-b": 2.0}
+
+    def test_midfile_corruption_stops_replay(self, tmp_path):
+        with make(tmp_path) as journal:
+            journal.completed("cell-a", 1.0)
+            journal.completed("cell-b", 2.0)
+            journal.end()
+        lines = self.path(tmp_path).read_text().splitlines()
+        lines[2] = lines[2].replace('"cell-b"', '"cell-X"')  # breaks crc
+        self.path(tmp_path).write_text("\n".join(lines) + "\n")
+        state = Journal.open(tmp_path / "abcd1234-1").replay()
+        assert state.corrupt_at == 3
+        # Everything after the bad record is conservatively dropped.
+        assert state.completed == {"cell-a": 1.0}
+        assert not state.ended
+
+    def test_checksum_catches_value_tamper(self, tmp_path):
+        with make(tmp_path) as journal:
+            journal.completed("cell-a", 1.0)
+            journal.end()
+        text = self.path(tmp_path).read_text()
+        assert "1.0" in text
+        self.path(tmp_path).write_text(text.replace("1.0", "9.0"))
+        state = Journal.open(tmp_path / "abcd1234-1").replay()
+        assert state.corrupt_at == 2
+        assert state.completed == {}
+
+    def test_no_begin_record_raises(self, tmp_path):
+        os.makedirs(tmp_path / "abcd1234-1")
+        self.path(tmp_path).write_text("garbage\n")
+        with pytest.raises(JournalError, match="begin"):
+            Journal.open(tmp_path / "abcd1234-1").replay()
+
+
+class TestConstruction:
+    def test_create_refuses_existing(self, tmp_path):
+        make(tmp_path).close()
+        with pytest.raises(JournalError, match="already exists"):
+            make(tmp_path)
+
+    def test_open_missing_raises(self, tmp_path):
+        with pytest.raises(JournalError, match="no journal"):
+            Journal.open(tmp_path / "nope-1")
+
+
+class TestRunIds:
+    def test_deterministic_prefix_and_sequence(self, tmp_path):
+        root = str(tmp_path)
+        first = new_run_id(root, SPEC)
+        prefix, seq = first.split("-")
+        assert len(prefix) == 8 and seq == "1"
+        assert new_run_id(root, SPEC) == first  # nothing allocated yet
+        Journal.create(journal_dir(root, first), run_id=first,
+                       campaign="j-test", spec=SPEC,
+                       fingerprint="f" * 16).close()
+        assert new_run_id(root, SPEC) == f"{prefix}-2"
+
+    def test_sequence_is_global_across_specs(self, tmp_path):
+        root = str(tmp_path)
+        first = new_run_id(root, SPEC)
+        Journal.create(journal_dir(root, first), run_id=first,
+                       campaign="j-test", spec=SPEC,
+                       fingerprint="f" * 16).close()
+        other = new_run_id(root, {**SPEC, "name": "other"})
+        assert other.split("-") != first.split("-")
+        assert other.endswith("-2")
+
+    def test_list_runs_only_sees_real_journals(self, tmp_path):
+        root = str(tmp_path)
+        assert list_runs(root) == []
+        run = new_run_id(root, SPEC)
+        Journal.create(journal_dir(root, run), run_id=run,
+                       campaign="j-test", spec=SPEC,
+                       fingerprint="f" * 16).close()
+        os.makedirs(journal_dir(root, "99999999-9"))  # dir, no journal
+        os.makedirs(os.path.join(journal_dir(root), "not-a-run-id"))
+        assert list_runs(root) == [run]

@@ -142,6 +142,83 @@ class TestRootResolution:
         assert "~" not in ResultStore().root
 
 
+class TestIntegrity:
+    def object_path(self, store, key):
+        return os.path.join(store.root, "objects", key[:2],
+                            f"{key[2:]}.json")
+
+    def test_bit_flip_is_caught_and_quarantined(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = store.put(SPEC, 123.5)
+        path = self.object_path(store, key)
+        with open(path) as fh:
+            text = fh.read()
+        # Valid JSON, wrong payload: only the checksum can catch this.
+        with open(path, "w") as fh:
+            fh.write(text.replace("123.5", "999.5"))
+        assert store.get(SPEC) is None
+        assert store.stats.corrupt == 1
+        assert store.stats.quarantined == 1
+        assert not os.path.exists(path)
+        quarantine = os.path.join(store.root, "quarantine")
+        assert len(os.listdir(quarantine)) == 1
+
+    def test_recompute_after_quarantine(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = store.put(SPEC, 1.0)
+        with open(self.object_path(store, key), "a") as fh:
+            fh.write("garbage")
+        assert store.get(SPEC) is None     # quarantined, miss
+        store.put(SPEC, 1.0)               # recomputed by the caller
+        assert store.get(SPEC) == 1.0      # healthy again
+
+    def test_verify_reports_without_touching(self, tmp_path):
+        store = ResultStore(tmp_path)
+        good = store.put(SPEC, 1.0)
+        bad = store.put({**SPEC, "threads": 31}, 2.0)
+        bad_path = self.object_path(store, bad)
+        with open(bad_path, "w") as fh:
+            fh.write("{trunc")
+        report = store.verify()
+        assert report.checked == 2 and report.ok == 1
+        assert report.corrupt == [bad_path]
+        assert not report.clean
+        assert os.path.exists(bad_path)  # report-only: file untouched
+        assert store.get(SPEC) == 1.0
+        assert good != bad
+
+    def test_verify_repair_quarantines_then_clean(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = store.put(SPEC, 1.0)
+        path = self.object_path(store, key)
+        with open(path, "w") as fh:
+            fh.write("{trunc")
+        report = store.verify(repair=True)
+        assert report.quarantined == [path]
+        assert not os.path.exists(path)
+        assert store.verify().clean
+
+
+class TestFingerprintBytes:
+    def test_non_utf8_source_does_not_crash(self, tmp_path, monkeypatch):
+        """The fingerprint hashes raw bytes: a Latin-1 or binary-ish
+        source file must not abort the whole store."""
+        import repro
+        from repro.campaign import store as store_module
+
+        pkg = tmp_path / "fakepkg"
+        pkg.mkdir()
+        (pkg / "__init__.py").write_text("x = 1\n")
+        (pkg / "latin1.py").write_bytes(b"# caf\xe9 \xff\xfe\n")
+        monkeypatch.setattr(store_module, "_FINGERPRINT", None)
+        monkeypatch.setattr(repro, "__file__", str(pkg / "__init__.py"))
+        fp = code_fingerprint()
+        assert len(fp) == 16
+        # And it is stable for the same bytes.
+        monkeypatch.setattr(store_module, "_FINGERPRINT", None)
+        assert code_fingerprint() == fp
+
+
 @pytest.mark.parametrize("value", [0.5, 1e12])
 def test_value_roundtrips_exactly(tmp_path, value):
     store = ResultStore(tmp_path)
