@@ -97,9 +97,36 @@ def _summary_dict(spec, report, store, run_id=None) -> dict:
         "interrupted": report.interrupted,
         "elapsed_seconds": report.elapsed,
         "resilience": dict(report.resilience),
+        "wall": report.wall(),
         "store": {"root": store.root, "fingerprint": store.fingerprint,
                   **store.stats.to_dict()},
     }
+
+
+def _format_wall(wall: dict) -> str:
+    """One-line rendering of a wall-clock counter block."""
+    line = (f"wall: {wall['cells_per_second']:.1f} cells/s over "
+            f"{wall['jobs']} worker(s), "
+            f"utilization {wall['worker_utilization']:.0%}")
+    if wall.get("store_gets"):
+        line += (f", store lookups {wall['store_gets']} @ "
+                 f"{wall['store_get_latency_s'] * 1000:.2f}ms")
+    return line
+
+
+def _write_wall(spec, report, store, run_id) -> None:
+    """Persist the run's wall counters next to its journal.
+
+    ``repro campaign status`` reads the newest of these back, so the
+    throughput of the last run is inspectable without re-running.
+    """
+    from repro.campaign.journal import journal_dir
+    if run_id is None:
+        return
+    path = os.path.join(journal_dir(store.root, run_id), "wall.json")
+    atomic_write_text(path, json.dumps(
+        {"campaign": spec.name, "run_id": run_id, "wall": report.wall()},
+        sort_keys=True, indent=1) + "\n")
 
 
 def _print_summary(spec, report, store, run_id=None) -> None:
@@ -110,6 +137,7 @@ def _print_summary(spec, report, store, run_id=None) -> None:
     print(f"  store hits {report.hits}{resumed}, "
           f"computed {report.computed}, failed {report.failed} "
           f"(hit-rate {report.hit_rate:.0%})")
+    print("  " + _format_wall(report.wall()))
     print(f"  store {store.root} (code fingerprint {store.fingerprint})")
     if run_id is not None:
         print(f"  journal {run_id} (resume with: repro campaign resume "
@@ -127,6 +155,7 @@ def _finish_run(args, spec, cells, report, store, run_id) -> int:
         atomic_write_text(args.summary, json.dumps(
             _summary_dict(spec, report, store, run_id), sort_keys=True,
             indent=1) + "\n")
+    _write_wall(spec, report, store, run_id)
     _print_summary(spec, report, store, run_id)
     if report.interrupted:
         return 130
@@ -193,7 +222,29 @@ def _cmd_status(args) -> int:
     print(f"campaign {spec.name}: {len(cells)} cell(s), "
           f"{cached} cached, {len(cells) - cached} pending")
     print(f"  store {store.root} (code fingerprint {store.fingerprint})")
+    last = _last_wall(store.root, spec.name)
+    if last is not None:
+        print(f"  last run {last['run_id']}: " + _format_wall(last["wall"]))
     return 0
+
+
+def _last_wall(root, campaign: str) -> dict | None:
+    """The newest persisted wall-counter block for *campaign*, if any."""
+    from repro.campaign.journal import journal_dir, list_runs
+    newest, newest_mtime = None, -1.0
+    for run_id in list_runs(root):
+        path = os.path.join(journal_dir(root, run_id), "wall.json")
+        try:
+            mtime = os.path.getmtime(path)
+            if mtime <= newest_mtime:
+                continue
+            with open(path, "r", encoding="utf-8") as fh:
+                data = json.load(fh)
+        except (OSError, ValueError):
+            continue
+        if data.get("campaign") == campaign and "wall" in data:
+            newest, newest_mtime = data, mtime
+    return newest
 
 
 def _format_age(seconds: float) -> str:

@@ -74,6 +74,10 @@ class ExecutionReport:
     elapsed: float = 0.0
     interrupted: bool = False
     resilience: dict = field(default_factory=dict)  # SupervisorStats.to_dict
+    jobs: int = 1             # effective worker count of the compute phase
+    busy_seconds: float = 0.0       # summed wall time inside runner calls
+    store_gets: int = 0             # store lookups in the short-circuit pass
+    store_get_seconds: float = 0.0  # summed wall time inside store.get
 
     @property
     def total(self) -> int:
@@ -83,6 +87,37 @@ class ExecutionReport:
     def hit_rate(self) -> float:
         """Store hits over completed cells (0.0 when nothing ran)."""
         return self.hits / self.total if self.total else 0.0
+
+    @property
+    def cells_per_second(self) -> float:
+        """Computed+failed cells per wall-clock second of the compute
+        phase (hits/resumes are excluded — they never touch a worker)."""
+        worked = self.computed + self.failed
+        return worked / self.elapsed if self.elapsed > 0 else 0.0
+
+    @property
+    def worker_utilization(self) -> float:
+        """Fraction of the worker pool's wall-time budget spent inside
+        runner calls (1.0 = perfectly packed; serial runs approach it)."""
+        if self.elapsed <= 0 or self.jobs <= 0:
+            return 0.0
+        return min(1.0, self.busy_seconds / (self.elapsed * self.jobs))
+
+    @property
+    def store_get_latency(self) -> float:
+        """Mean seconds per store lookup (0.0 without a store)."""
+        return self.store_get_seconds / self.store_gets \
+            if self.store_gets else 0.0
+
+    def wall(self) -> dict:
+        """The wall-clock counter block (campaign status / summaries)."""
+        return {"elapsed_s": self.elapsed,
+                "jobs": self.jobs,
+                "busy_s": self.busy_seconds,
+                "cells_per_second": self.cells_per_second,
+                "worker_utilization": self.worker_utilization,
+                "store_gets": self.store_gets,
+                "store_get_latency_s": self.store_get_latency}
 
 
 class _Progress:
@@ -226,8 +261,13 @@ def execute(runner, keys, *, jobs: int | None = None, retries: int = 0,
                 on_cell(key, report.values[key])
             meter.update(report)
             continue
-        cached = store.get(spec_for(key)) if store is not None \
-            and spec_for is not None else None
+        if store is not None and spec_for is not None:
+            t_get = time.time()
+            cached = store.get(spec_for(key))
+            report.store_get_seconds += time.time() - t_get
+            report.store_gets += 1
+        else:
+            cached = None
         if cached is not None:
             report.values[key] = cached
             report.hits += 1
@@ -252,10 +292,12 @@ def execute(runner, keys, *, jobs: int | None = None, retries: int = 0,
         # parallel mode is on: the timeout/requeue machinery is the
         # point, not just the parallelism.
         if ctx is not None and work:
-            _execute_pool(runner, work, ctx, min(jobs, len(work)), retries,
+            report.jobs = min(jobs, len(work))
+            _execute_pool(runner, work, ctx, report.jobs, retries,
                           record, report, key_id=key_id,
                           family_for=family_for, timeout=timeout)
         else:
+            report.jobs = 1
             _execute_serial(runner, work, retries, on_error, labels_for,
                             registry, record, report)
     finally:
@@ -284,12 +326,15 @@ def _execute_serial(runner, work, retries, on_error, labels_for, registry,
                 scope = registry.cell(**labels_for(key)) \
                     if registry is not None and labels_for is not None \
                     else nullcontext()
+                t_cell = time.time()
                 try:
                     with scope:
                         value, error = float(runner(key)), None
                     break
                 except Exception as exc:  # noqa: BLE001
                     error = exc
+                finally:
+                    report.busy_seconds += time.time() - t_cell
             if error is not None and on_error == "raise":
                 raise error  # fail fast with the original exception
             record(key, value, None if error is None else
@@ -321,3 +366,4 @@ def _execute_pool(runner, work, ctx, jobs, retries, record, report, *,
         raise  # second Ctrl-C: abort hard (workers already killed)
     finally:
         report.resilience = supervisor.stats.to_dict()
+        report.busy_seconds = supervisor.stats.busy_seconds

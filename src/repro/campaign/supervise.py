@@ -97,6 +97,7 @@ class SupervisorStats:
     breaker_opens: int = 0
     breaker_closes: int = 0
     short_circuited: int = 0    # cells failed fast by an open breaker
+    busy_seconds: float = 0.0   # summed worker wall time holding a cell
 
     def to_dict(self) -> dict:
         return {"retries": self.retries, "requeues": self.requeues,
@@ -105,7 +106,8 @@ class SupervisorStats:
                 "workers_spawned": self.workers_spawned,
                 "breaker_opens": self.breaker_opens,
                 "breaker_closes": self.breaker_closes,
-                "short_circuited": self.short_circuited}
+                "short_circuited": self.short_circuited,
+                "busy_seconds": self.busy_seconds}
 
 
 class CircuitBreaker:
@@ -386,6 +388,7 @@ class Supervisor:
             if message is not None:
                 seq, attempt, key = worker.item
                 worker.item = None
+                self.stats.busy_seconds += max(0.0, now - worker.started)
                 _, value, error = message
                 self._settle(key, seq, attempt, value, error, now,
                              on_result)
@@ -418,6 +421,7 @@ class Supervisor:
         """A worker vanished mid-cell: requeue its cell, replace it."""
         seq, attempt, key = worker.item
         worker.item = None
+        self.stats.busy_seconds += max(0.0, time.monotonic() - worker.started)
         exitcode = worker.proc.exitcode
         self._discard(worker)
         self.stats.worker_deaths += 1
@@ -440,6 +444,7 @@ class Supervisor:
         """Deadline blown: SIGKILL the worker, charge a retry attempt."""
         seq, attempt, key = worker.item
         worker.item = None
+        self.stats.busy_seconds += max(0.0, now - worker.started)
         self._discard(worker, kill=True)
         self.stats.timeouts += 1
         self._count("campaign.timeouts")

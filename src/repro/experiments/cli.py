@@ -35,6 +35,15 @@ Static analysis (``repro.lint``):
 * ``repro lint ...`` delegates to :mod:`repro.lint.cli` — the AST-level
   invariant checker (determinism, env hygiene, observer gating, kernel
   footprints, lock/barrier pairing) behind the CI lint gate.
+
+Benchmarking (``repro.bench``):
+
+* ``repro bench run|profile|compare|trend ...`` delegates to
+  :mod:`repro.bench.cli` — the wall-clock benchmark harness:
+  median-of-K pinned suites appended to ``BENCH_<suite>.json``
+  trajectory files, subsystem-bucketed wall profiling with flamegraph
+  export, and the perf-regression gate CI runs against the committed
+  baselines.
 """
 
 from __future__ import annotations
@@ -90,6 +99,9 @@ def main(argv=None) -> int:
     if argv and argv[0] == "lint":
         from repro.lint.cli import main as lint_main
         return lint_main(list(argv[1:]))
+    if argv and argv[0] == "bench":
+        from repro.bench.cli import main as bench_main
+        return bench_main(list(argv[1:]))
 
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
@@ -165,6 +177,9 @@ def main(argv=None) -> int:
     if what == "profile":
         from repro.experiments.profile import (DEFAULT_METRICS, DEFAULT_TRACE,
                                                run_profile)
+        print("note: 'profile' runs one instrumented kernel; for "
+              "whole-suite wall-clock profiling and flamegraph export "
+              "use 'repro bench profile'", file=sys.stderr)
         return run_profile(
             kernel=args.kernel, graph=args.graph, variant=args.variant,
             threads=args.profile_threads,

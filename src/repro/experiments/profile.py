@@ -12,6 +12,13 @@ It also prints an ASCII Gantt chart of the longest loop and a
 reconciliation summary showing that the exported breakdown accounts for
 the loop's full thread-cycle budget — the invariant the telemetry layer
 guarantees by construction.
+
+The run executes under :class:`repro.bench.profiler.WallProfiler`, so
+alongside the *simulated-cycle* breakdown it reports where the *wall
+clock* went, bucketed onto the same subsystem labels the spans use
+(``engine:cond-wait``, ``runtime:chunk``, ...).  For whole-suite wall
+profiling and flamegraph export use ``repro bench profile``, which this
+command is a single-kernel front-end to.
 """
 
 from __future__ import annotations
@@ -88,14 +95,27 @@ def run_profile(kernel: str = "coloring", graph: str = "auto",
                 variant: str | None = None, threads: int = 31,
                 trace_path: str | os.PathLike = DEFAULT_TRACE,
                 metrics_path: str | os.PathLike = DEFAULT_METRICS,
-                seed: int = 0) -> int:
-    """Run one instrumented kernel execution and write both artifacts."""
+                seed: int = 0, wall_top: int = 5) -> int:
+    """Run one instrumented kernel execution and write both artifacts.
+
+    *wall_top* rows of wall-clock attribution are printed after the
+    simulated-cycle summaries (0 disables wall profiling, removing its
+    interpreter overhead).
+    """
+    from repro.bench.profiler import WallProfiler
+
     if variant is None:
         variant = "OpenMP-dynamic" if kernel == "coloring" \
             else "OpenMP-Block-relaxed"
+    profiler = WallProfiler()
     with Observer() as obs:
         with obs.registry.cell(graph=graph, variant=variant, threads=threads):
-            run = _run_kernel(kernel, graph, variant, threads, seed=seed)
+            if wall_top > 0:
+                with profiler:
+                    run = _run_kernel(kernel, graph, variant, threads,
+                                      seed=seed)
+            else:
+                run = _run_kernel(kernel, graph, variant, threads, seed=seed)
     obs.write(trace_path=trace_path, metrics_path=metrics_path)
 
     frames = obs.frames
@@ -116,4 +136,8 @@ def run_profile(kernel: str = "coloring", graph: str = "auto",
 
     _, summary = reconciliation(frames)
     print(summary)
+
+    if wall_top > 0:
+        print()
+        print(profiler.report.format_table(wall_top))
     return 0

@@ -75,13 +75,17 @@ class Observer:
         """Frames recorded so far ([] when metrics are disabled)."""
         return [] if self.registry is None else list(self.registry.frames)
 
-    def write(self, trace_path=None, metrics_path=None) -> None:
-        """Export the recorded artifacts (paths are optional per half)."""
+    def write(self, trace_path=None, metrics_path=None, stamp=None) -> None:
+        """Export the recorded artifacts (paths are optional per half).
+
+        *stamp* (optional ``() -> float``) timestamps the exports;
+        omitted, they are byte-stable for a given run.
+        """
         if trace_path is not None:
             if self.tracer is None:
                 raise ValueError("this Observer recorded no trace")
-            write_chrome_trace(self.tracer, trace_path)
+            write_chrome_trace(self.tracer, trace_path, stamp=stamp)
         if metrics_path is not None:
             if self.registry is None:
                 raise ValueError("this Observer recorded no metrics")
-            write_metrics_jsonl(self.registry, metrics_path)
+            write_metrics_jsonl(self.registry, metrics_path, stamp=stamp)

@@ -12,12 +12,20 @@ Metrics dumps are JSON Lines: one :class:`~repro.obs.metrics.MetricsFrame`
 object per line, preceded by a single header line (``{"repro_metrics":
 1}``) identifying the file.  Writes go through the shared atomic-write
 helper so a crash never leaves a half-written artifact.
+
+Both writers emit **byte-stable** output: keys are sorted and nothing
+depends on wall time.  Exports are timestamped only when the caller
+passes an explicit *stamp* clock (``time.time`` for real artifacts, a
+:class:`repro.bench.timer.FakeClock` in tests) — the default ``None``
+omits the field entirely, so two exports of the same run are
+byte-identical and diffable.
 """
 
 from __future__ import annotations
 
 import json
 import os
+from typing import Callable
 
 from repro._util import atomic_write_text
 from repro.obs.metrics import MetricsFrame, MetricsRegistry
@@ -77,25 +85,44 @@ def chrome_trace_events(tracer: Tracer) -> list[dict]:
     return events
 
 
-def write_chrome_trace(tracer: Tracer, path: str | os.PathLike) -> None:
-    """Write the tracer's events to *path* as Perfetto-loadable JSON."""
+def write_chrome_trace(tracer: Tracer, path: str | os.PathLike,
+                       stamp: Callable[[], float] | None = None) -> None:
+    """Write the tracer's events to *path* as Perfetto-loadable JSON.
+
+    *stamp* (optional ``() -> float``, e.g. ``time.time``) adds a
+    ``generated_at`` field to ``otherData``; without it the export is
+    byte-stable for a given run.
+    """
+    other = {"producer": "repro.obs",
+             "time_unit": "simulated cycles (1 cycle == 1 us)"}
+    if stamp is not None:
+        other["generated_at"] = float(stamp())
     payload = {
         "traceEvents": chrome_trace_events(tracer),
         "displayTimeUnit": "ms",
-        "otherData": {"producer": "repro.obs",
-                      "time_unit": "simulated cycles (1 cycle == 1 us)"},
+        "otherData": other,
     }
-    atomic_write_text(os.fspath(path), json.dumps(payload, indent=None,
-                                                  separators=(",", ":")))
+    atomic_write_text(os.fspath(path),
+                      json.dumps(payload, indent=None,
+                                 separators=(",", ":"), sort_keys=True))
 
 
 def write_metrics_jsonl(source: MetricsRegistry | list,
-                        path: str | os.PathLike) -> None:
-    """Write a registry's frames (or a frame list) to *path* as JSONL."""
+                        path: str | os.PathLike,
+                        stamp: Callable[[], float] | None = None) -> None:
+    """Write a registry's frames (or a frame list) to *path* as JSONL.
+
+    *stamp* (optional ``() -> float``) adds ``generated_at`` to the
+    header line; without it the dump is byte-stable for a given run.
+    """
     frames = source.frames if isinstance(source, MetricsRegistry) else source
-    lines = [json.dumps(HEADER, separators=(",", ":"))]
+    header = dict(HEADER)
+    if stamp is not None:
+        header["generated_at"] = float(stamp())
+    lines = [json.dumps(header, separators=(",", ":"), sort_keys=True)]
     for frame in frames:
-        lines.append(json.dumps(frame.to_dict(), separators=(",", ":")))
+        lines.append(json.dumps(frame.to_dict(), separators=(",", ":"),
+                                sort_keys=True))
     atomic_write_text(os.fspath(path), "\n".join(lines) + "\n")
 
 

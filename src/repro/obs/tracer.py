@@ -37,7 +37,8 @@ from __future__ import annotations
 from contextlib import contextmanager
 
 __all__ = ["Tracer", "active", "install", "uninstall", "tracing",
-           "PID_THREADS", "PID_RESOURCES", "PID_ENGINE", "PROCESS_NAMES"]
+           "PID_THREADS", "PID_RESOURCES", "PID_ENGINE", "PROCESS_NAMES",
+           "SPAN_BUCKETS", "span_bucket"]
 
 #: Process-group ids of the exported trace (one Perfetto process each).
 PID_THREADS = 1      # simulated software threads (chunks, waits, TLS, steals)
@@ -48,6 +49,40 @@ PID_ENGINE = 3       # region lifecycle, watchdog and deadlock events
 PROCESS_NAMES = {PID_THREADS: "sim-threads",
                  PID_RESOURCES: "resources",
                  PID_ENGINE: "engine"}
+
+#: Canonical ``span label -> subsystem bucket`` mapping.  These bucket
+#: names are the shared vocabulary between the two observability layers:
+#: the simulated-cycle spans recorded here and the wall-clock attribution
+#: in :mod:`repro.bench.profiler` report under the *same* labels, so a
+#: hot-spot table and a Perfetto track name the same subsystem.
+SPAN_BUCKETS = {
+    "barrier-wait": "engine:barrier-wait",
+    "cond-wait": "engine:cond-wait",
+    "watchdog-timeout": "engine:events",
+    "deadlock": "engine:events",
+    "killed": "engine:events",
+    "chunk": "runtime:chunk",
+    "tls-init": "runtime:tls",
+    "hang": "runtime:hang",
+    "steal": "runtime:steal",
+    "rmw": "resources:atomic",
+    "lock": "resources:atomic",
+    "xfer": "resources:dram",
+}
+
+
+def span_bucket(name: str) -> str:
+    """The subsystem bucket of a recorded span label.
+
+    ``loop:<prefix>`` spans (one per parallel region) collapse to
+    ``runtime:loop``; unknown labels fall back to ``other:<name>`` so a
+    newly instrumented span is visible (and nameable) before it gets a
+    canonical bucket here.
+    """
+    if name.startswith("loop:"):
+        return "runtime:loop"
+    return SPAN_BUCKETS.get(name, f"other:{name}")
+
 
 #: The active tracer (None = tracing disabled; the common case).
 _ACTIVE: "Tracer | None" = None

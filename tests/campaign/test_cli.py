@@ -78,6 +78,31 @@ class TestStatus:
         assert "2 cached, 0 pending" in capsys.readouterr().out
 
 
+class TestWallCounters:
+    def test_summary_and_status_surface_wall_block(self, tmp_path,
+                                                   spec_file, capsys):
+        store = str(tmp_path / "store")
+        summary = tmp_path / "s.json"
+        assert main(["run", str(spec_file), "--store", store, "--quiet",
+                     "--summary", str(summary)]) == 0
+        out = capsys.readouterr().out
+        assert "cells/s" in out and "utilization" in out
+        wall = json.loads(summary.read_text())["wall"]
+        assert wall["cells_per_second"] > 0
+        assert 0.0 < wall["worker_utilization"] <= 1.0
+        assert wall["store_gets"] == 2
+        # status reports the persisted counters of the last run
+        assert main(["status", str(spec_file), "--store", store]) == 0
+        status_out = capsys.readouterr().out
+        assert "last run" in status_out and "cells/s" in status_out
+
+    def test_status_without_runs_omits_wall_line(self, tmp_path, spec_file,
+                                                 capsys):
+        assert main(["status", str(spec_file), "--store",
+                     str(tmp_path / "store")]) == 0
+        assert "last run" not in capsys.readouterr().out
+
+
 class TestResume:
     def test_run_then_resume_recomputes_nothing(self, tmp_path, spec_file,
                                                 capsys):

@@ -209,6 +209,55 @@ class TestReportShape:
         assert r.total == 6
 
 
+class TestWallCounters:
+    def test_derived_properties(self):
+        r = ExecutionReport(computed=8, failed=2, elapsed=2.0, jobs=4,
+                            busy_seconds=6.0, store_gets=10,
+                            store_get_seconds=0.5)
+        assert r.cells_per_second == pytest.approx(5.0)
+        assert r.worker_utilization == pytest.approx(0.75)
+        assert r.store_get_latency == pytest.approx(0.05)
+
+    def test_zero_guards(self):
+        r = ExecutionReport()
+        assert r.cells_per_second == 0.0
+        assert r.worker_utilization == 0.0
+        assert r.store_get_latency == 0.0
+
+    def test_wall_block_keys(self):
+        wall = ExecutionReport(computed=1, elapsed=1.0).wall()
+        assert set(wall) == {"elapsed_s", "jobs", "busy_s",
+                             "cells_per_second", "worker_utilization",
+                             "store_gets", "store_get_latency_s"}
+
+    def test_serial_execute_accrues_wall_time(self):
+        report = execute(runner, KEYS, jobs=1)
+        assert report.jobs == 1
+        assert report.elapsed > 0
+        assert 0.0 < report.busy_seconds <= report.elapsed + 0.1
+        assert report.cells_per_second > 0
+        assert report.store_gets == 0  # no store attached
+
+    def test_store_lookups_timed(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        spec_for = lambda k: {"cell": k}  # noqa: E731
+        execute(runner, KEYS, jobs=1, store=store, spec_for=spec_for)
+        report = execute(runner, KEYS, jobs=1, store=store,
+                         spec_for=spec_for)
+        assert report.hits == len(KEYS)
+        assert report.store_gets == len(KEYS)
+        assert report.store_get_seconds >= 0.0
+        assert report.store_get_latency >= 0.0
+
+    def test_pool_busy_seconds_from_supervisor(self):
+        report = execute(runner, KEYS, jobs=2)
+        assert report.jobs == 2
+        assert report.busy_seconds > 0
+        assert report.busy_seconds == \
+            pytest.approx(report.resilience["busy_seconds"])
+        assert 0.0 < report.worker_utilization <= 1.0
+
+
 class TestInterrupt:
     def test_serial_first_sigint_returns_partial(self):
         def interrupting(key):

@@ -114,6 +114,85 @@ class TestMetricsJsonl:
         assert load_metrics_jsonl(path) == frames
 
 
+class TestStampsAndStability:
+    def test_exports_are_byte_stable_without_a_stamp(self, tiny_machine,
+                                                     tmp_path):
+        blobs = []
+        for i in range(2):
+            with Observer() as obs:
+                run_loop(tiny_machine)
+            t, m = tmp_path / f"t{i}.json", tmp_path / f"m{i}.jsonl"
+            obs.write(trace_path=t, metrics_path=m)
+            blobs.append((t.read_bytes(), m.read_bytes()))
+        assert blobs[0] == blobs[1]
+
+    def test_stamp_clock_timestamps_both_artifacts(self, tiny_machine,
+                                                   tmp_path):
+        with Observer() as obs:
+            run_loop(tiny_machine)
+        t, m = tmp_path / "t.json", tmp_path / "m.jsonl"
+        obs.write(trace_path=t, metrics_path=m, stamp=lambda: 7.0)
+        assert json.loads(t.read_text())["otherData"]["generated_at"] == 7.0
+        header = json.loads(m.read_text().splitlines()[0])
+        assert header["generated_at"] == 7.0
+        assert header["repro_metrics"] == 1
+
+    def test_stamped_metrics_still_load(self, tiny_machine, tmp_path):
+        with Observer(trace=False) as obs:
+            run_loop(tiny_machine)
+        path = tmp_path / "m.jsonl"
+        write_metrics_jsonl(obs.registry, path, stamp=lambda: 1.0)
+        assert load_metrics_jsonl(path) == obs.frames
+
+    def test_json_keys_sorted(self, tiny_machine, tmp_path):
+        with Observer(trace=False) as obs:
+            run_loop(tiny_machine)
+        path = tmp_path / "m.jsonl"
+        write_metrics_jsonl(obs.registry, path)
+        for line in path.read_text().splitlines():
+            keys = list(json.loads(line))
+            assert keys == sorted(keys)
+
+
+class TestHalfDisabledObserver:
+    def test_metrics_only_round_trip(self, tiny_machine, tmp_path):
+        with Observer(trace=False) as obs:
+            run_loop(tiny_machine)
+        assert obs.tracer is None
+        assert obs.frames
+        path = tmp_path / "m.jsonl"
+        obs.write(metrics_path=path)
+        assert load_metrics_jsonl(path) == obs.frames
+
+    def test_trace_only_round_trip(self, tiny_machine, tmp_path):
+        with Observer(metrics=False) as obs:
+            run_loop(tiny_machine)
+        assert obs.registry is None
+        assert obs.frames == []
+        path = tmp_path / "t.json"
+        obs.write(trace_path=path)
+        assert_schema_valid(json.loads(path.read_text())["traceEvents"])
+
+    def test_writing_the_disabled_half_is_an_error(self, tiny_machine,
+                                                   tmp_path):
+        with Observer(trace=False) as obs:
+            run_loop(tiny_machine)
+        with pytest.raises(ValueError, match="recorded no trace"):
+            obs.write(trace_path=tmp_path / "t.json")
+        with Observer(metrics=False) as obs:
+            run_loop(tiny_machine)
+        with pytest.raises(ValueError, match="recorded no metrics"):
+            obs.write(metrics_path=tmp_path / "m.jsonl")
+
+    def test_half_disabled_runs_match_fully_observed_cycles(self,
+                                                            tiny_machine):
+        spans = []
+        for kwargs in ({}, {"trace": False}, {"metrics": False}):
+            with Observer(**kwargs):
+                spans.append(run_loop(tiny_machine).span)
+        assert spans[0] == spans[1] == spans[2]
+
+
 class TestReconciliation:
     def test_exported_totals_match_loop_stats(self, tiny_machine, tmp_path):
         """Counter totals written to disk equal the LoopStats fields."""
