@@ -299,6 +299,28 @@ class ResultStore:
                     size_bytes=st.st_size, current=fp == self.fingerprint))
         return out
 
+    def _remove_object(self, path: str) -> None:
+        """Delete one *object* file — and nothing else.
+
+        ``gc``/``clear`` are the only deletion paths in the store, and
+        they must never reach outside ``<root>/objects/``: quarantined
+        files are evidence (``verify --repair`` put them aside precisely
+        so a human can look), and ``<root>/journals/`` holds the
+        crash-recovery WALs of live campaign runs and the serve job
+        queue — deleting one silently turns "zero lost jobs" into lost
+        jobs.  The walk in :meth:`entries` only visits ``objects/``, but
+        that is an implementation detail; this guard makes the guarantee
+        structural.
+        """
+        objects = os.path.realpath(os.path.join(self.root, "objects"))
+        if os.path.commonpath([objects,
+                               os.path.realpath(path)]) != objects:
+            raise ValueError(
+                f"refusing to delete {path!r}: outside the store's "
+                f"objects/ tree (quarantine/ and journals/ are "
+                f"never garbage-collected)")
+        os.remove(path)
+
     def gc(self, max_age_days: float | None = None,
            stale_only: bool = False) -> tuple[int, int]:
         """Remove unreachable objects; returns ``(removed, kept)``.
@@ -308,6 +330,10 @@ class ResultStore:
         with *max_age_days*, when it is older than that.  *stale_only*
         restricts removal to fingerprint-stale entries even when an age
         limit is given.
+
+        Only files under ``<root>/objects/`` are ever deleted:
+        ``<root>/quarantine/`` and ``<root>/journals/`` (run WALs and
+        the serve job journal) are never visited or touched.
         """
         removed = kept = 0
         for entry in self.entries():
@@ -315,17 +341,21 @@ class ResultStore:
             too_old = (max_age_days is not None
                        and entry.age_seconds > max_age_days * 86400.0)
             if stale or (too_old and not stale_only):
-                os.remove(entry.path)
+                self._remove_object(entry.path)
                 removed += 1
             else:
                 kept += 1
         return removed, kept
 
     def clear(self) -> int:
-        """Remove every object (the root directory itself is kept)."""
+        """Remove every object (the root directory itself is kept).
+
+        Like :meth:`gc`, this only deletes under ``<root>/objects/`` —
+        quarantined files and journals survive a ``cache clear``.
+        """
         removed = 0
         for entry in self.entries():
-            os.remove(entry.path)
+            self._remove_object(entry.path)
             removed += 1
         return removed
 

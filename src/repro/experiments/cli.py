@@ -36,6 +36,13 @@ Static analysis (``repro.lint``):
   invariant checker (determinism, env hygiene, observer gating, kernel
   footprints, lock/barrier pairing) behind the CI lint gate.
 
+Campaign service (``repro.serve``):
+
+* ``repro serve start|submit|status|drain ...`` delegates to
+  :mod:`repro.serve.cli` — a stdlib-asyncio HTTP service that accepts
+  campaign specs as jobs, dedupes shared cells, and serves
+  byte-deterministic results from a sharded store.
+
 Benchmarking (``repro.bench``):
 
 * ``repro bench run|profile|compare|trend ...`` delegates to
@@ -102,6 +109,9 @@ def main(argv=None) -> int:
     if argv and argv[0] == "bench":
         from repro.bench.cli import main as bench_main
         return bench_main(list(argv[1:]))
+    if argv and argv[0] == "serve":
+        from repro.serve.cli import main as serve_main
+        return serve_main(list(argv[1:]))
 
     parser = argparse.ArgumentParser(
         prog="repro-experiments",

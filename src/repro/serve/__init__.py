@@ -1,0 +1,38 @@
+"""``repro.serve`` — a long-running asyncio campaign service.
+
+The campaign layer (:mod:`repro.campaign`) runs sweeps as batch CLI
+processes; this package turns it into a *service*: a stdlib-``asyncio``
+HTTP/JSON server that accepts :class:`~repro.campaign.spec.CampaignSpec`
+submissions as jobs, executes their cells through the supervised process
+pool, and serves results whose bytes are identical to what ``repro
+campaign run --output`` would have written.
+
+The moving parts, one module each:
+
+* :mod:`repro.serve.config` — every ``REPRO_SERVE_*`` knob, read through
+  the validated :mod:`repro._util` env parsers.
+* :mod:`repro.serve.shards` — the content-addressed
+  :class:`~repro.campaign.store.ResultStore` sharded by cell-key prefix,
+  fronted by a bounded read-through LRU cache with eviction stats.
+* :mod:`repro.serve.queue` — the priority work queue: deterministic
+  ``(priority, submission-seq)`` ordering, per-client quota accounting.
+* :mod:`repro.serve.service` — :class:`~repro.serve.service.CampaignService`,
+  the framework-free core: job table, cell dedup (overlapping
+  submissions attach to in-flight computations), dispatch to the
+  supervised executor via ``run_in_executor``, and job-level journaling
+  through :mod:`repro.campaign.journal` so a killed server resumes its
+  queue on restart.
+* :mod:`repro.serve.http` — the minimal HTTP/1.1 request/response layer
+  (no framework) routing to the service, plus a background-thread
+  harness used by tests and benchmarks.
+* :mod:`repro.serve.client` — a small urllib client for the CLI and CI.
+* :mod:`repro.serve.cli` — ``repro serve start|submit|status|drain``.
+"""
+
+from repro.serve.config import ServeConfig
+from repro.serve.queue import PriorityWorkQueue, QuotaExceeded
+from repro.serve.service import CampaignService, Job
+from repro.serve.shards import ShardedResultStore
+
+__all__ = ["ServeConfig", "PriorityWorkQueue", "QuotaExceeded",
+           "CampaignService", "Job", "ShardedResultStore"]

@@ -1,0 +1,210 @@
+"""Command line for the campaign service: ``repro serve <command>``.
+
+::
+
+    repro serve start [--host H] [--port P] [--store DIR] [--jobs N]
+                      [--shards N] [--cache N] [--quota N]
+    repro serve submit SPEC.json [--url URL] [--client NAME]
+                      [--priority N] [--wait] [--output PATH]
+    repro serve status [JOB-ID] [--url URL]
+    repro serve drain [--url URL]
+
+``start`` runs the server in the foreground until drained (or killed —
+a killed server's accepted jobs survive in the journal and requeue on
+the next start against the same store).  The other three are thin
+wrappers over :mod:`repro.serve.client`; they default the server URL
+from ``REPRO_SERVE_URL`` / ``REPRO_SERVE_HOST`` / ``REPRO_SERVE_PORT``.
+
+``submit --wait --output results.json`` is the full round trip: POST
+the spec, poll to completion, fetch the results document — whose bytes
+equal a serial ``repro campaign run --output`` of the same spec.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+
+__all__ = ["main"]
+
+
+def _cmd_start(args) -> int:
+    from repro.campaign.store import DEFAULT_STORE_ROOT, default_store_root
+    from repro.serve.config import ServeConfig
+    from repro.serve.http import serve
+    from repro.serve.service import CampaignService
+    from repro.serve.shards import ShardedResultStore
+
+    config = ServeConfig.from_env(host=args.host, port=args.port,
+                                  jobs=args.jobs, quota=args.quota,
+                                  cache_size=args.cache, shards=args.shards)
+    root = args.store or default_store_root() or DEFAULT_STORE_ROOT
+    store = ShardedResultStore(root, shards=config.shards,
+                               cache_size=config.cache_size)
+
+    def service_factory() -> CampaignService:
+        return CampaignService(store, jobs=config.jobs, quota=config.quota,
+                               retries=args.retries, batch=args.batch)
+
+    def ready(host: str, port: int) -> None:
+        print(f"repro serve: listening on http://{host}:{port}", flush=True)
+        print(f"repro serve: store {store.root} "
+              f"({store.n_shards} shards, cache {store.cache.capacity})",
+              flush=True)
+
+    service = service_factory()
+    try:
+        asyncio.run(serve(service, config.host, config.port, ready=ready))
+    except KeyboardInterrupt:
+        print("repro serve: interrupted", file=sys.stderr)
+        return 130
+    requeued = len(service.requeued_jobs)
+    if requeued:
+        print(f"repro serve: requeued {requeued} journaled job(s) "
+              f"on startup", flush=True)
+    print("repro serve: drained, exiting", flush=True)
+    return 0
+
+
+def _url(args) -> str:
+    from repro.serve.config import serve_url
+    return args.url or serve_url()
+
+
+def _cmd_submit(args) -> int:
+    from repro.serve import client
+
+    with open(args.spec, "r", encoding="utf-8") as fh:
+        spec = json.load(fh)
+    status, document = client.submit_job(_url(args), spec,
+                                         client=args.client,
+                                         priority=args.priority)
+    if status != 202:
+        print(f"repro serve: submit rejected ({status}): "
+              f"{document.get('error', document)}", file=sys.stderr)
+        return 1
+    job_id = document["job"]
+    print(f"job {job_id}: {document['cells']['total']} cell(s), "
+          f"{document['cells']['pending']} pending")
+    if not args.wait and args.output is None:
+        return 0
+    final = client.wait_for_job(_url(args), job_id, timeout=args.timeout)
+    cells = final["cells"]
+    print(f"job {job_id}: done — {cells['completed']} completed "
+          f"({cells['hits']} store hits, {cells['computed']} computed, "
+          f"{cells['failed']} failed)")
+    if args.output is not None:
+        status, raw = client.job_results(_url(args), job_id)
+        if status != 200:
+            print(f"repro serve: results fetch failed ({status})",
+                  file=sys.stderr)
+            return 1
+        with open(args.output, "wb") as out:
+            out.write(raw)
+        print(f"results -> {args.output}")
+    return 1 if cells["failed"] else 0
+
+
+def _cmd_status(args) -> int:
+    from repro.serve import client
+    if args.job_id:
+        status, document = client.job_status(_url(args), args.job_id)
+    else:
+        status, document = client.server_health(_url(args))
+    print(json.dumps(document, indent=2, sort_keys=True))
+    return 0 if status == 200 else 1
+
+
+def _cmd_drain(args) -> int:
+    from repro.serve import client
+    status, document = client.drain_server(_url(args))
+    if status != 202:
+        print(f"repro serve: drain failed ({status}): {document}",
+              file=sys.stderr)
+        return 1
+    print(f"draining: {document['queued']} queued, "
+          f"{document['inflight']} in flight, "
+          f"{document['active_jobs']} active job(s)")
+    return 0
+
+
+def main(argv=None) -> int:
+    """Entry point for ``repro serve ...`` (returns the exit code)."""
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="Campaign service: submit sweep specs over HTTP, "
+                    "poll progress, fetch byte-deterministic results.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    start_p = sub.add_parser("start", help="run the server (foreground)")
+    start_p.add_argument("--host", default=None,
+                         help="bind address (default REPRO_SERVE_HOST "
+                              "or 127.0.0.1)")
+    start_p.add_argument("--port", type=int, default=None,
+                         help="bind port (default REPRO_SERVE_PORT; "
+                              "0 = ephemeral)")
+    start_p.add_argument("--store", default=None, metavar="DIR",
+                         help="store root (default $REPRO_STORE or "
+                              "~/.cache/repro)")
+    start_p.add_argument("--jobs", type=int, default=None,
+                         help="compute processes per batch (default "
+                              "REPRO_SERVE_JOBS or 1; 0 = one per CPU)")
+    start_p.add_argument("--quota", type=int, default=None,
+                         help="per-client pending-cell quota (default "
+                              "REPRO_SERVE_QUOTA)")
+    start_p.add_argument("--shards", type=int, default=None,
+                         help="store shard count (default "
+                              "REPRO_SERVE_SHARDS)")
+    start_p.add_argument("--cache", type=int, default=None,
+                         help="result LRU capacity (default "
+                              "REPRO_SERVE_CACHE; 0 disables)")
+    start_p.add_argument("--retries", type=int, default=None,
+                         help="per-cell retry budget (default "
+                              "REPRO_RETRIES)")
+    start_p.add_argument("--batch", type=int, default=None,
+                         help="max cells per dispatch round")
+
+    submit_p = sub.add_parser("submit", help="POST a campaign spec")
+    submit_p.add_argument("spec", help="campaign spec JSON file")
+    submit_p.add_argument("--client", default=None,
+                          help="client name for quota accounting")
+    submit_p.add_argument("--priority", type=int, default=0,
+                          help="dispatch priority (lower runs first)")
+    submit_p.add_argument("--wait", action="store_true",
+                          help="poll until the job finishes")
+    submit_p.add_argument("--output", default=None, metavar="PATH",
+                          help="fetch the results document when done "
+                               "(implies --wait)")
+    submit_p.add_argument("--timeout", type=float, default=600.0,
+                          help="--wait deadline in seconds")
+
+    status_p = sub.add_parser("status", help="server health or one job")
+    status_p.add_argument("job_id", nargs="?", default=None,
+                          metavar="JOB-ID",
+                          help="job to inspect (omit for /healthz)")
+
+    drain_p = sub.add_parser("drain", help="stop accepting; finish + exit")
+
+    for p in (submit_p, status_p, drain_p):
+        p.add_argument("--url", default=None,
+                       help="server base URL (default REPRO_SERVE_URL or "
+                            "http://REPRO_SERVE_HOST:REPRO_SERVE_PORT)")
+
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "start":
+            return _cmd_start(args)
+        if args.command == "submit":
+            return _cmd_submit(args)
+        if args.command == "status":
+            return _cmd_status(args)
+        return _cmd_drain(args)
+    except (OSError, ValueError, TimeoutError, RuntimeError) as exc:
+        print(f"repro serve: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

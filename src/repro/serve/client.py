@@ -1,0 +1,99 @@
+"""A tiny stdlib client for the campaign service's HTTP API.
+
+Every helper returns ``(status, document)`` — 4xx/5xx responses are
+*data*, not exceptions (a 409 results-not-ready is how polling works),
+so :class:`urllib.error.HTTPError` is caught and unwrapped.  Connection
+failures (server not up yet, killed mid-request) raise ``OSError`` and
+are the caller's problem — the CLI retries them, tests assert on them.
+
+Used by ``repro serve submit|status|drain`` and by the test/bench
+harnesses; the only non-JSON response in the API is ``/jobs/<id>/
+results``, fetched raw by :func:`results` because its *bytes* are the
+contract (byte-identical to a serial ``repro campaign run --output``).
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+__all__ = ["request", "submit_job", "job_status", "job_results",
+           "server_health", "drain_server", "wait_for_job"]
+
+_TIMEOUT = 30.0
+
+
+def request(url: str, *, method: str = "GET", body: dict | None = None,
+            headers: dict | None = None,
+            timeout: float = _TIMEOUT) -> tuple[int, bytes]:
+    """One HTTP exchange: ``(status, raw body)``; 4xx/5xx don't raise."""
+    data = None
+    send_headers = dict(headers or {})
+    if body is not None:
+        data = json.dumps(body).encode("utf-8")
+        send_headers.setdefault("Content-Type", "application/json")
+    req = urllib.request.Request(url, data=data, headers=send_headers,
+                                 method=method)
+    try:
+        with urllib.request.urlopen(req, timeout=timeout) as resp:
+            return resp.status, resp.read()
+    except urllib.error.HTTPError as exc:
+        with exc:
+            return exc.code, exc.read()
+
+
+def _json(url: str, **kwargs) -> tuple[int, dict]:
+    status, raw = request(url, **kwargs)
+    try:
+        return status, json.loads(raw.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError):
+        return status, {"error": f"non-JSON response: {raw[:200]!r}"}
+
+
+def submit_job(base_url: str, spec: dict, *, client: str | None = None,
+               priority: int = 0) -> tuple[int, dict]:
+    """POST a campaign spec; 202 + job status on acceptance."""
+    envelope: dict = {"spec": spec, "priority": priority}
+    if client is not None:
+        envelope["client"] = client
+    return _json(f"{base_url}/jobs", method="POST", body=envelope)
+
+
+def job_status(base_url: str, job_id: str) -> tuple[int, dict]:
+    return _json(f"{base_url}/jobs/{job_id}")
+
+
+def job_results(base_url: str, job_id: str) -> tuple[int, bytes]:
+    """The results document, raw (its bytes are the contract)."""
+    return request(f"{base_url}/jobs/{job_id}/results")
+
+
+def server_health(base_url: str) -> tuple[int, dict]:
+    return _json(f"{base_url}/healthz")
+
+
+def drain_server(base_url: str) -> tuple[int, dict]:
+    return _json(f"{base_url}/drain", method="POST")
+
+
+def wait_for_job(base_url: str, job_id: str, *, timeout: float = 120.0,
+                 interval: float = 0.05) -> dict:
+    """Poll until the job reports done; returns its final status dict.
+
+    Raises ``TimeoutError`` after *timeout* seconds and ``RuntimeError``
+    if the server forgets the job (404 after a restart that lost it —
+    exactly the condition the journal exists to prevent).
+    """
+    import time
+    deadline = time.time() + timeout
+    while True:
+        status, document = job_status(base_url, job_id)
+        if status == 404:
+            raise RuntimeError(f"server lost job {job_id}: {document}")
+        if status == 200 and document.get("done"):
+            return document
+        if time.time() >= deadline:
+            raise TimeoutError(
+                f"job {job_id} not done after {timeout}s: {document}")
+        time.sleep(interval)

@@ -1,0 +1,114 @@
+"""Campaign-service configuration: the ``REPRO_SERVE_*`` surface.
+
+Every knob is read through the validated env parsers in
+:mod:`repro._util` (enforced by the ``env-raw-read`` lint rule), so a
+typo'd value fails loudly with the variable's name instead of silently
+running the server with a default.  CLI flags override the environment;
+the environment overrides the defaults below.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro._util import env_int, env_str
+
+__all__ = ["ServeConfig", "serve_host", "serve_port", "serve_url",
+           "serve_jobs", "serve_quota", "serve_cache_size", "serve_shards",
+           "DEFAULT_PORT"]
+
+#: Default TCP port (an unassigned IANA port; override with
+#: ``REPRO_SERVE_PORT`` or ``--port``; 0 = pick a free ephemeral port).
+DEFAULT_PORT = 8642
+
+
+def serve_host() -> str:
+    """Bind/connect host from ``REPRO_SERVE_HOST`` (default loopback)."""
+    return env_str("REPRO_SERVE_HOST", "127.0.0.1") or "127.0.0.1"
+
+
+def serve_port() -> int:
+    """TCP port from ``REPRO_SERVE_PORT`` (0 = ephemeral)."""
+    value = env_int("REPRO_SERVE_PORT", DEFAULT_PORT, lo=0, hi=65535)
+    return DEFAULT_PORT if value is None else value
+
+
+def serve_url() -> str:
+    """Client-side base URL from ``REPRO_SERVE_URL`` (or host:port)."""
+    url = env_str("REPRO_SERVE_URL")
+    if url is not None:
+        return url.rstrip("/")
+    return f"http://{serve_host()}:{serve_port()}"
+
+
+def serve_jobs() -> int:
+    """Compute-pool width from ``REPRO_SERVE_JOBS`` (default 1 = serial).
+
+    Mirrors ``REPRO_JOBS`` semantics: ``0`` means one worker per CPU;
+    ``1`` keeps cell execution serial in the dispatch thread, which is
+    the deterministic default the byte-identity guarantee is stated for
+    (parallel runs are bitwise identical too, via the supervised pool).
+    """
+    import os
+    jobs = env_int("REPRO_SERVE_JOBS", 1, lo=0)
+    return jobs or (os.cpu_count() or 1)
+
+
+def serve_quota() -> int:
+    """Per-client pending-cell quota from ``REPRO_SERVE_QUOTA``.
+
+    The maximum number of cells one client may have queued or in flight
+    at once; a submission that would exceed it is rejected with HTTP 429
+    before anything is enqueued.
+    """
+    value = env_int("REPRO_SERVE_QUOTA", 1024, lo=1)
+    return 1024 if value is None else value
+
+
+def serve_cache_size() -> int:
+    """Read-through LRU capacity (entries) from ``REPRO_SERVE_CACHE``.
+
+    ``0`` disables the in-memory cache entirely (every read goes to the
+    sharded on-disk store).
+    """
+    value = env_int("REPRO_SERVE_CACHE", 4096, lo=0)
+    return 4096 if value is None else value
+
+
+def serve_shards() -> int:
+    """On-disk shard count from ``REPRO_SERVE_SHARDS`` (default 16).
+
+    Shards are selected by cell-key prefix, so the count is a layout
+    property of the store directory: changing it re-homes keys to
+    different shard roots (old entries simply miss and are recomputed).
+    """
+    value = env_int("REPRO_SERVE_SHARDS", 16, lo=1, hi=256)
+    return 16 if value is None else value
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Resolved server configuration (env defaults + CLI overrides)."""
+
+    host: str
+    port: int
+    jobs: int
+    quota: int
+    cache_size: int
+    shards: int
+
+    @classmethod
+    def from_env(cls, *, host: str | None = None, port: int | None = None,
+                 jobs: int | None = None, quota: int | None = None,
+                 cache_size: int | None = None,
+                 shards: int | None = None) -> "ServeConfig":
+        """Build a config, with explicit (CLI) values taking precedence."""
+        return cls(
+            host=host if host is not None else serve_host(),
+            port=port if port is not None else serve_port(),
+            jobs=jobs if jobs is not None else serve_jobs(),
+            quota=quota if quota is not None else serve_quota(),
+            cache_size=cache_size if cache_size is not None
+            else serve_cache_size(),
+            shards=shards if shards is not None else serve_shards(),
+        )

@@ -1,0 +1,120 @@
+"""Priority work queue with per-client quota accounting.
+
+The queue holds *cell ids* (the unit of computation and dedup), ordered
+by ``(priority, submission sequence)`` — lower priority numbers run
+first, ties run in submission order, so dispatch order is deterministic
+for a given submission history.  One cell appears at most once no matter
+how many jobs subscribe to it; the service's cell-task table owns that
+dedup and the queue only orders what it is given.
+
+Quota accounting is part of the queue because admission control is a
+queueing concern: a client's *load* is the number of cells it currently
+has pending (queued, attached to an in-flight computation, or running),
+and :meth:`PriorityWorkQueue.reserve` rejects a submission that would
+push the load past the quota **before** anything is enqueued — a
+rejected job has no partial footprint to unwind.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+
+__all__ = ["PriorityWorkQueue", "QuotaExceeded"]
+
+
+class QuotaExceeded(Exception):
+    """A submission would exceed its client's pending-cell quota."""
+
+    def __init__(self, client: str, load: int, requested: int, quota: int):
+        self.client = client
+        self.load = load
+        self.requested = requested
+        self.quota = quota
+        super().__init__(
+            f"client {client!r} has {load} pending cell(s); submitting "
+            f"{requested} more would exceed the quota of {quota}")
+
+
+class PriorityWorkQueue:
+    """Deterministic priority queue of cell ids + per-client quotas.
+
+    Not thread-safe: every method runs on the event loop (the service
+    marshals executor-thread completions back onto the loop before
+    touching the queue).
+    """
+
+    def __init__(self, quota: int):
+        if quota < 1:
+            raise ValueError(f"quota must be >= 1, got {quota}")
+        self.quota = quota
+        self._heap: list[tuple[int, int, str]] = []
+        self._seq = 0
+        self._load: dict[str, int] = {}
+        self._event = asyncio.Event()
+        self.pushed = 0
+        self.popped = 0
+
+    # ----- quota accounting ------------------------------------------------
+
+    def load(self, client: str) -> int:
+        """The client's current pending-cell count."""
+        return self._load.get(client, 0)
+
+    def reserve(self, client: str, cells: int) -> None:
+        """Charge *cells* pending cells to *client* (all or nothing)."""
+        held = self.load(client)
+        if held + cells > self.quota:
+            raise QuotaExceeded(client, held, cells, self.quota)
+        self.charge(client, cells)
+
+    def charge(self, client: str, cells: int) -> None:
+        """Charge quota without the admission check.
+
+        Used when a restarted server requeues journal-replayed jobs:
+        they were admitted under quota once and must not be dropped just
+        because their combined load exceeds it now.
+        """
+        if cells:
+            self._load[client] = self.load(client) + cells
+
+    def release(self, client: str, cells: int = 1) -> None:
+        """Return *cells* of quota to *client* (floored at zero)."""
+        held = self.load(client) - cells
+        if held > 0:
+            self._load[client] = held
+        else:
+            self._load.pop(client, None)
+
+    def loads(self) -> dict[str, int]:
+        """Per-client pending-cell counts (health endpoint)."""
+        return dict(sorted(self._load.items()))
+
+    # ----- queueing --------------------------------------------------------
+
+    @property
+    def depth(self) -> int:
+        """Cells currently queued (not yet drained for dispatch)."""
+        return len(self._heap)
+
+    def push(self, cell_id: str, priority: int = 0) -> None:
+        """Enqueue *cell_id*; lower *priority* numbers dispatch first."""
+        heapq.heappush(self._heap, (priority, self._seq, cell_id))
+        self._seq += 1
+        self.pushed += 1
+        self._event.set()
+
+    async def drain(self, max_items: int) -> list[str]:
+        """Wait for work, then pop up to *max_items* cells in order."""
+        while not self._heap:
+            self._event.clear()
+            await self._event.wait()
+        out = []
+        while self._heap and len(out) < max_items:
+            out.append(heapq.heappop(self._heap)[2])
+        self.popped += len(out)
+        return out
+
+    def kick(self) -> None:
+        """Wake a parked :meth:`drain` (shutdown paths)."""
+        self._event.set()

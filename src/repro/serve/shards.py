@@ -1,0 +1,241 @@
+"""The result store, sharded by cell-key prefix, behind an LRU cache.
+
+A single :class:`~repro.campaign.store.ResultStore` keeps every object
+under one ``objects/`` tree; a long-running server hammering it from
+many concurrent submissions wants the keyspace spread over independent
+shard roots (separate directory trees, separate quarantines — one
+corrupt shard never blocks the others) and a bounded in-memory
+read-through cache in front, so warm resubmissions are served without
+touching the filesystem at all.
+
+Layout::
+
+    <root>/shards/00/objects/...   # shard 0: its own ResultStore tree
+    <root>/shards/01/objects/...
+    ...
+    <root>/journals/serve/         # the server's job journal (not a shard)
+
+Shard selection hashes the store *key* (already a SHA-256 over spec +
+code fingerprint): ``int(key[:4], 16) % n_shards``.  All shards share
+one code fingerprint, so a key computed by any shard is valid for the
+whole store, and the value served for a spec is byte-for-byte the value
+a flat store would have served — sharding is a layout property only.
+
+The LRU keeps ``key -> value`` pairs (results are single floats, so
+memory per entry is tiny) with hit/miss/eviction stats; capacity 0
+disables it.  When a :mod:`repro.obs.metrics` registry is active, cache
+traffic is also counted as ``serve.cache{event=hit|miss|evict}`` —
+null-checked per use, so the uninstrumented cost is one comparison.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.campaign.store import (ResultStore, StoreStats, VerifyReport,
+                                  code_fingerprint)
+
+__all__ = ["ShardedResultStore", "CacheStats"]
+
+
+@dataclass
+class CacheStats:
+    """Read-through LRU accounting for one :class:`ShardedResultStore`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    size: int = 0
+    capacity: int = 0
+
+    def to_dict(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses,
+                "evictions": self.evictions, "size": self.size,
+                "capacity": self.capacity}
+
+
+class ShardedResultStore:
+    """Content-addressed result store over *n_shards* independent roots.
+
+    Implements the store interface the campaign executor consumes
+    (``get``/``put``/``contains``/``stats``/``fingerprint``/``root``)
+    plus the maintenance surface (``entries``/``gc``/``clear``/
+    ``verify``) fanned out across shards.  Safe for concurrent use from
+    the event loop and the dispatch thread: the LRU and aggregate stats
+    sit behind one lock; the underlying per-shard file operations are
+    already atomic.
+    """
+
+    def __init__(self, root: str | os.PathLike, *, shards: int | None = None,
+                 cache_size: int | None = None,
+                 fingerprint: str | None = None):
+        from repro.serve.config import serve_cache_size, serve_shards
+        self.root = os.path.expanduser(os.fspath(root))
+        self.n_shards = shards if shards is not None else serve_shards()
+        if self.n_shards < 1:
+            raise ValueError(f"shards must be >= 1, got {self.n_shards}")
+        capacity = cache_size if cache_size is not None else serve_cache_size()
+        if capacity < 0:
+            raise ValueError(f"cache_size must be >= 0, got {capacity}")
+        self.fingerprint = fingerprint or code_fingerprint()
+        self.shards = [
+            ResultStore(os.path.join(self.root, "shards", f"{i:02d}"),
+                        fingerprint=self.fingerprint)
+            for i in range(self.n_shards)]
+        self._lock = threading.Lock()
+        self._lru: OrderedDict[str, float] = OrderedDict()
+        self.cache = CacheStats(capacity=capacity)
+
+    # ----- keys and shard routing ------------------------------------------
+
+    def key(self, spec: dict) -> str:
+        """The store key for *spec* (identical across all shards)."""
+        return self.shards[0].key(spec)
+
+    def shard_for(self, key: str) -> ResultStore:
+        """The shard owning *key* (stable prefix hash)."""
+        return self.shards[int(key[:4], 16) % self.n_shards]
+
+    # ----- cache internals -------------------------------------------------
+
+    def _count_cache(self, event: str) -> None:
+        from repro.obs import metrics as _obs_metrics
+        registry = _obs_metrics.active()
+        if registry is not None:
+            registry.incr("serve.cache", event=event)
+
+    def _cache_get(self, key: str) -> float | None:
+        with self._lock:
+            if key in self._lru:
+                self._lru.move_to_end(key)
+                self.cache.hits += 1
+                value = self._lru[key]
+            else:
+                self.cache.misses += 1
+                value = None
+            self.cache.size = len(self._lru)
+        self._count_cache("hit" if value is not None else "miss")
+        return value
+
+    def _cache_put(self, key: str, value: float) -> None:
+        if self.cache.capacity <= 0:
+            return
+        evicted = 0
+        with self._lock:
+            self._lru[key] = value
+            self._lru.move_to_end(key)
+            while len(self._lru) > self.cache.capacity:
+                self._lru.popitem(last=False)
+                self.cache.evictions += 1
+                evicted += 1
+            self.cache.size = len(self._lru)
+        for _ in range(evicted):
+            self._count_cache("evict")
+
+    # ----- read/write ------------------------------------------------------
+
+    def get(self, spec: dict) -> float | None:
+        """Cached value for *spec* (LRU first, then the owning shard)."""
+        key = self.key(spec)
+        value = self._cache_get(key)
+        if value is not None:
+            # Keep the shard's hit/miss ledger authoritative even when
+            # the disk read is skipped: an LRU hit is a store hit.
+            with self._lock:
+                self.shard_for(key).stats.hits += 1
+            return value
+        value = self.shard_for(key).get(spec)
+        if value is not None:
+            self._cache_put(key, value)
+        return value
+
+    def put(self, spec: dict, value: float) -> str | None:
+        """Store *value* for *spec*; returns the key (None if skipped)."""
+        key = self.shard_for(self.key(spec)).put(spec, value)
+        if key is not None:
+            self._cache_put(key, float(value))
+        return key
+
+    def contains(self, spec: dict) -> bool:
+        """Whether a current-fingerprint result exists (stats untouched)."""
+        key = self.key(spec)
+        with self._lock:
+            if key in self._lru:
+                return True
+        return self.shard_for(key).contains(spec)
+
+    # ----- stats -----------------------------------------------------------
+
+    @property
+    def stats(self) -> StoreStats:
+        """Aggregated hit/miss stats across every shard."""
+        total = StoreStats()
+        for shard in self.shards:
+            total.hits += shard.stats.hits
+            total.misses += shard.stats.misses
+            total.puts += shard.stats.puts
+            total.corrupt += shard.stats.corrupt
+            total.quarantined += shard.stats.quarantined
+            total.skipped_nonfinite += shard.stats.skipped_nonfinite
+        return total
+
+    def health(self) -> dict:
+        """The store block of the server's health report."""
+        per_shard = [len(shard.entries()) for shard in self.shards]
+        return {"root": self.root, "fingerprint": self.fingerprint,
+                "shards": self.n_shards, "objects": sum(per_shard),
+                "objects_per_shard": per_shard,
+                "cache": self.cache.to_dict(), **self.stats.to_dict()}
+
+    # ----- maintenance (fan-out) -------------------------------------------
+
+    def entries(self) -> list:
+        """Every readable object across all shards, shard-major order."""
+        out = []
+        for shard in self.shards:
+            out.extend(shard.entries())
+        return out
+
+    def gc(self, max_age_days: float | None = None,
+           stale_only: bool = False) -> tuple[int, int]:
+        """Fan ``gc`` out across shards; returns ``(removed, kept)``.
+
+        Like the flat store's gc, this only ever touches objects under
+        each shard's ``objects/`` tree — quarantined files and journals
+        (including the server's job journal under
+        ``<root>/journals/serve/``) are never visited.
+        """
+        removed = kept = 0
+        for shard in self.shards:
+            r, k = shard.gc(max_age_days=max_age_days, stale_only=stale_only)
+            removed += r
+            kept += k
+        with self._lock:
+            self._lru.clear()
+            self.cache.size = 0
+        return removed, kept
+
+    def clear(self) -> int:
+        """Remove every object in every shard (directories are kept)."""
+        removed = sum(shard.clear() for shard in self.shards)
+        with self._lock:
+            self._lru.clear()
+            self.cache.size = 0
+        return removed
+
+    def verify(self, repair: bool = False) -> VerifyReport:
+        """Audit every shard's objects; one merged report."""
+        report = VerifyReport()
+        for shard in self.shards:
+            part = shard.verify(repair=repair)
+            report.checked += part.checked
+            report.ok += part.ok
+            report.corrupt.extend(part.corrupt)
+            report.quarantined.extend(part.quarantined)
+        return report
+
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self.shards)

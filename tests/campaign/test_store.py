@@ -125,6 +125,57 @@ class TestMaintenance:
         assert len(store) == 0
         assert os.path.isdir(store.root)
 
+    @staticmethod
+    def _populate_side_trees(root):
+        """Drop files into quarantine/ and journals/ like real runs do."""
+        quarantine = os.path.join(root, "quarantine")
+        journals = os.path.join(root, "journals", "serve")
+        os.makedirs(quarantine, exist_ok=True)
+        os.makedirs(journals, exist_ok=True)
+        q_file = os.path.join(quarantine, "deadbeef.json")
+        j_file = os.path.join(journals, "journal.jsonl")
+        with open(q_file, "w", encoding="utf-8") as fh:
+            fh.write("{corrupt but preserved}")
+        with open(j_file, "w", encoding="utf-8") as fh:
+            fh.write('{"type": "job", "job": "cafe0123-1"}\n')
+        return q_file, j_file
+
+    def test_gc_never_touches_quarantine_or_journals(self, tmp_path):
+        # Regression guard: gc must only ever delete under objects/ —
+        # quarantined evidence and crash-recovery journals survive even
+        # the most aggressive gc settings.
+        old = ResultStore(tmp_path, fingerprint="aaaa")
+        old.put(SPEC, 1.0)
+        store = ResultStore(tmp_path, fingerprint="bbbb")
+        key = store.put(SPEC, 2.0)
+        q_file, j_file = self._populate_side_trees(store.root)
+        path = os.path.join(store.root, "objects", key[:2],
+                            f"{key[2:]}.json")
+        os.utime(path, (0, 0))
+        removed, kept = store.gc(max_age_days=0.0)
+        assert (removed, kept) == (2, 0)
+        assert os.path.isfile(q_file)
+        assert os.path.isfile(j_file)
+        with open(j_file, encoding="utf-8") as fh:
+            assert "cafe0123-1" in fh.read()
+
+    def test_clear_never_touches_quarantine_or_journals(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(SPEC, 1.0)
+        q_file, j_file = self._populate_side_trees(store.root)
+        assert store.clear() == 1
+        assert os.path.isfile(q_file)
+        assert os.path.isfile(j_file)
+
+    def test_remove_object_refuses_paths_outside_objects(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(SPEC, 1.0)
+        q_file, j_file = self._populate_side_trees(store.root)
+        for outside in (q_file, j_file):
+            with pytest.raises(ValueError, match="refusing to delete"):
+                store._remove_object(outside)
+            assert os.path.isfile(outside)
+
 
 class TestRootResolution:
     def test_env_var_default(self, tmp_path, monkeypatch):

@@ -1,0 +1,100 @@
+"""``repro serve`` CLI: submit/status/drain against a live server."""
+
+import json
+
+import pytest
+
+from repro.serve.cli import main as serve_main
+from repro.serve.http import BackgroundServer
+from repro.serve.service import CampaignService
+from repro.serve.shards import ShardedResultStore
+
+from tests.serve.test_service import CountingRunner, make_spec
+
+
+@pytest.fixture()
+def server(tmp_path):
+    store = ShardedResultStore(tmp_path / "store", shards=2, cache_size=16,
+                               fingerprint="ff")
+    runner = CountingRunner()
+    harness = BackgroundServer(
+        lambda: CampaignService(store, jobs=1, retries=0, runner=runner))
+    with harness as url:
+        yield url
+
+
+def write_spec(tmp_path, spec):
+    path = tmp_path / "spec.json"
+    path.write_text(json.dumps(spec))
+    return str(path)
+
+
+class TestSubmit:
+    def test_submit_wait_output(self, tmp_path, server, capsys):
+        spec_file = write_spec(tmp_path, make_spec([1, 2]))
+        out = tmp_path / "results.json"
+        rc = serve_main(["submit", spec_file, "--url", server,
+                         "--client", "cli", "--output", str(out)])
+        assert rc == 0
+        printed = capsys.readouterr().out
+        assert "2 cell(s)" in printed
+        assert "done" in printed
+        document = json.loads(out.read_bytes())
+        assert len(document["results"]) == 2
+
+    def test_submit_fire_and_forget(self, tmp_path, server, capsys):
+        spec_file = write_spec(tmp_path, make_spec([1]))
+        rc = serve_main(["submit", spec_file, "--url", server])
+        assert rc == 0
+        assert "1 cell(s)" in capsys.readouterr().out
+
+    def test_invalid_spec_fails(self, tmp_path, server, capsys):
+        spec_file = write_spec(tmp_path, {"name": "x", "experiment": "nope",
+                                          "graphs": ["auto"],
+                                          "variants": ["v"], "threads": [1]})
+        rc = serve_main(["submit", spec_file, "--url", server])
+        assert rc == 1
+        assert "rejected" in capsys.readouterr().err
+
+    def test_url_from_env(self, tmp_path, server, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_SERVE_URL", server)
+        spec_file = write_spec(tmp_path, make_spec([1]))
+        assert serve_main(["submit", spec_file]) == 0
+
+
+class TestStatusAndDrain:
+    def test_status_health(self, server, capsys):
+        rc = serve_main(["status", "--url", server])
+        assert rc == 0
+        health = json.loads(capsys.readouterr().out)
+        assert health["status"] == "ok"
+
+    def test_status_one_job(self, tmp_path, server, capsys):
+        spec_file = write_spec(tmp_path, make_spec([1]))
+        serve_main(["submit", spec_file, "--url", server, "--wait"])
+        capsys.readouterr()
+        rc = serve_main(["status", "--url", server])
+        assert rc == 0
+
+    def test_status_unknown_job(self, server, capsys):
+        rc = serve_main(["status", "cafecafe-9", "--url", server])
+        assert rc == 1
+        assert "unknown job" in capsys.readouterr().out
+
+    def test_drain(self, server, capsys):
+        rc = serve_main(["drain", "--url", server])
+        assert rc == 0
+        assert "draining" in capsys.readouterr().out
+
+    def test_connection_error_is_reported(self, capsys):
+        rc = serve_main(["status", "--url", "http://127.0.0.1:9"])
+        assert rc == 2
+        assert "repro serve:" in capsys.readouterr().err
+
+
+class TestDispatch:
+    def test_experiments_cli_delegates(self, server, capsys):
+        from repro.experiments.cli import main as repro_main
+        rc = repro_main(["serve", "status", "--url", server])
+        assert rc == 0
+        assert json.loads(capsys.readouterr().out)["status"] == "ok"

@@ -1,0 +1,56 @@
+"""``REPRO_SERVE_*`` knobs: defaults, env overrides, precedence."""
+
+import pytest
+
+from repro.serve.config import (DEFAULT_PORT, ServeConfig, serve_host,
+                                serve_port, serve_quota, serve_shards,
+                                serve_url)
+
+
+class TestDefaults:
+    def test_defaults(self, monkeypatch):
+        for var in ("REPRO_SERVE_HOST", "REPRO_SERVE_PORT",
+                    "REPRO_SERVE_URL", "REPRO_SERVE_JOBS",
+                    "REPRO_SERVE_QUOTA", "REPRO_SERVE_CACHE",
+                    "REPRO_SERVE_SHARDS"):
+            monkeypatch.delenv(var, raising=False)
+        config = ServeConfig.from_env()
+        assert config.host == "127.0.0.1"
+        assert config.port == DEFAULT_PORT
+        assert config.jobs == 1
+        assert config.quota == 1024
+        assert config.cache_size == 4096
+        assert config.shards == 16
+        assert serve_url() == f"http://127.0.0.1:{DEFAULT_PORT}"
+
+
+class TestEnvOverrides:
+    def test_env_values_apply(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVE_HOST", "0.0.0.0")
+        monkeypatch.setenv("REPRO_SERVE_PORT", "9999")
+        monkeypatch.setenv("REPRO_SERVE_QUOTA", "7")
+        monkeypatch.setenv("REPRO_SERVE_SHARDS", "3")
+        assert serve_host() == "0.0.0.0"
+        assert serve_port() == 9999
+        assert serve_quota() == 7
+        assert serve_shards() == 3
+
+    def test_url_env_wins_over_host_port(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVE_URL", "http://example:1234")
+        monkeypatch.setenv("REPRO_SERVE_PORT", "9999")
+        assert serve_url() == "http://example:1234"
+
+    def test_invalid_values_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVE_PORT", "70000")
+        with pytest.raises(ValueError):
+            serve_port()
+        monkeypatch.setenv("REPRO_SERVE_SHARDS", "0")
+        with pytest.raises(ValueError):
+            serve_shards()
+
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVE_PORT", "9999")
+        monkeypatch.setenv("REPRO_SERVE_QUOTA", "7")
+        config = ServeConfig.from_env(port=1234, quota=99)
+        assert config.port == 1234
+        assert config.quota == 99

@@ -1,0 +1,93 @@
+"""Priority work queue: ordering, quotas, drain batching."""
+
+import asyncio
+
+import pytest
+
+from repro.serve.queue import PriorityWorkQueue, QuotaExceeded
+
+
+def drain_now(queue, max_items=100):
+    """Drain synchronously (the queue must already hold work)."""
+    assert queue.depth > 0
+    return asyncio.run(asyncio.wait_for(queue.drain(max_items), timeout=1))
+
+
+class TestOrdering:
+    def test_lower_priority_number_runs_first(self):
+        queue = PriorityWorkQueue(quota=100)
+        queue.push("low", 5)
+        queue.push("urgent", -1)
+        queue.push("normal", 0)
+        assert drain_now(queue) == ["urgent", "normal", "low"]
+
+    def test_equal_priority_is_fifo(self):
+        queue = PriorityWorkQueue(quota=100)
+        for cid in ("a", "b", "c"):
+            queue.push(cid, 0)
+        assert drain_now(queue) == ["a", "b", "c"]
+
+    def test_drain_respects_batch_limit(self):
+        queue = PriorityWorkQueue(quota=100)
+        for i in range(5):
+            queue.push(f"c{i}")
+        assert drain_now(queue, max_items=2) == ["c0", "c1"]
+        assert queue.depth == 3
+        assert queue.popped == 2
+        assert queue.pushed == 5
+
+    def test_drain_waits_for_work(self):
+        async def scenario():
+            queue = PriorityWorkQueue(quota=100)
+            waiter = asyncio.create_task(queue.drain(10))
+            await asyncio.sleep(0)
+            assert not waiter.done()
+            queue.push("late")
+            return await asyncio.wait_for(waiter, timeout=1)
+
+        assert asyncio.run(scenario()) == ["late"]
+
+
+class TestQuota:
+    def test_reserve_is_all_or_nothing(self):
+        queue = PriorityWorkQueue(quota=10)
+        queue.reserve("alice", 8)
+        with pytest.raises(QuotaExceeded) as err:
+            queue.reserve("alice", 3)
+        assert err.value.load == 8
+        assert err.value.requested == 3
+        assert err.value.quota == 10
+        assert queue.load("alice") == 8  # nothing charged by the failure
+
+    def test_quotas_are_per_client(self):
+        queue = PriorityWorkQueue(quota=10)
+        queue.reserve("alice", 10)
+        queue.reserve("bob", 10)
+        assert queue.loads() == {"alice": 10, "bob": 10}
+
+    def test_release_frees_quota(self):
+        queue = PriorityWorkQueue(quota=2)
+        queue.reserve("alice", 2)
+        queue.release("alice", 1)
+        queue.reserve("alice", 1)
+        assert queue.load("alice") == 2
+
+    def test_release_floors_at_zero_and_forgets(self):
+        queue = PriorityWorkQueue(quota=10)
+        queue.reserve("alice", 1)
+        queue.release("alice", 5)
+        assert queue.load("alice") == 0
+        assert queue.loads() == {}
+
+    def test_charge_bypasses_the_cap(self):
+        # Journal-replayed jobs were admitted once; a restart must not
+        # drop them because their combined load now exceeds the quota.
+        queue = PriorityWorkQueue(quota=2)
+        queue.charge("alice", 50)
+        assert queue.load("alice") == 50
+        with pytest.raises(QuotaExceeded):
+            queue.reserve("alice", 1)
+
+    def test_quota_must_be_positive(self):
+        with pytest.raises(ValueError):
+            PriorityWorkQueue(quota=0)

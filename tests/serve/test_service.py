@@ -1,0 +1,339 @@
+"""Service core: dedup, quotas, journal resume, drain, byte-identity.
+
+These tests drive :class:`~repro.serve.service.CampaignService`
+directly (no sockets) with injected stub runners, so they are fast and
+deterministic; the HTTP layer has its own suite on top.
+"""
+
+import asyncio
+import json
+import os
+import threading
+
+import pytest
+
+from repro.serve.queue import QuotaExceeded
+from repro.serve.service import CampaignService, ServiceDraining, UnknownJob
+from repro.serve.shards import ShardedResultStore
+
+
+def make_spec(threads, name="sweep"):
+    return {"name": name, "experiment": "coloring", "graphs": ["auto"],
+            "variants": ["OpenMP-dynamic"], "threads": list(threads),
+            "machine": "KNF", "seeds": [0], "params": {}}
+
+
+class CountingRunner:
+    """Deterministic stub runner that records per-cell call counts."""
+
+    def __init__(self, fail_threads=()):
+        self.calls = {}
+        self.fail_threads = set(fail_threads)
+        self._lock = threading.Lock()
+
+    def __call__(self, cell) -> float:
+        with self._lock:
+            self.calls[cell.cell_id] = self.calls.get(cell.cell_id, 0) + 1
+        if cell.threads in self.fail_threads:
+            raise RuntimeError(f"injected failure at {cell.threads}t")
+        return 1000.0 + cell.threads
+
+
+def make_store(tmp_path, **kwargs):
+    kwargs.setdefault("shards", 4)
+    kwargs.setdefault("cache_size", 64)
+    kwargs.setdefault("fingerprint", "ff")
+    return ShardedResultStore(tmp_path / "store", **kwargs)
+
+
+def run_service(tmp_path, scenario, *, store=None, dispatch=True,
+                **service_kwargs):
+    """Start a service, run *scenario(service)*, always stop.
+
+    ``dispatch=False`` runs an accept-only server (jobs journaled, no
+    cell ever computed) — the deterministic stand-in for a server
+    killed right after acknowledging a submission.
+    """
+    service_kwargs.setdefault("jobs", 1)
+    service_kwargs.setdefault("retries", 0)
+    if store is None:
+        store = make_store(tmp_path)
+
+    async def main():
+        service = CampaignService(store, **service_kwargs)
+        await service.start(dispatch=dispatch)
+        try:
+            return await asyncio.wait_for(scenario(service), timeout=60)
+        finally:
+            await service.stop()
+
+    return asyncio.run(main())
+
+
+class TestSubmit:
+    def test_invalid_spec_rejected(self, tmp_path):
+        async def scenario(service):
+            with pytest.raises(ValueError, match="unknown experiment"):
+                service.submit({"name": "x", "experiment": "nope",
+                                "graphs": ["auto"], "variants": ["v"],
+                                "threads": [1]})
+            return service
+
+        service = run_service(tmp_path, scenario,
+                              runner=CountingRunner())
+        assert not service.jobs_list()
+
+    def test_job_completes_with_stub_runner(self, tmp_path):
+        runner = CountingRunner()
+
+        async def scenario(service):
+            job = service.submit(make_spec([1, 2]), client="alice")
+            await job.done.wait()
+            return job
+
+        job = run_service(tmp_path, scenario, runner=runner)
+        assert job.computed == 2
+        assert job.values[job.cells[0].cell_id] == 1001.0
+        assert sorted(runner.calls.values()) == [1, 1]
+        status = job.status_dict(now=job.finished, rate=1.0)
+        assert status["done"] is True
+        assert status["cells"]["total"] == 2
+
+    def test_duplicate_axis_values_are_one_cell(self, tmp_path):
+        # [1, 1] expands to the same cell twice: one unit of work, one
+        # quota charge, one result.
+        runner = CountingRunner()
+
+        async def scenario(service):
+            job = service.submit(make_spec([1, 1]), client="alice")
+            await job.done.wait()
+            assert service.queue.loads() == {}   # fully released
+            return job
+
+        job = run_service(tmp_path, scenario, runner=runner)
+        assert job.computed == 1
+        assert sum(runner.calls.values()) == 1
+
+    def test_quota_rejection_leaves_no_footprint(self, tmp_path):
+        async def scenario(service):
+            with pytest.raises(QuotaExceeded):
+                service.submit(make_spec([1, 2, 3]), client="alice")
+            assert service.queue.depth == 0
+            assert service.queue.loads() == {}
+            assert not service.jobs_list()
+            return service
+
+        run_service(tmp_path, scenario, runner=CountingRunner(), quota=2)
+
+    def test_unknown_job_raises(self, tmp_path):
+        async def scenario(service):
+            with pytest.raises(UnknownJob):
+                service.job("cafecafe-9")
+            return service
+
+        run_service(tmp_path, scenario, runner=CountingRunner())
+
+
+class TestDedup:
+    def test_overlapping_submissions_compute_shared_cells_once(
+            self, tmp_path):
+        # Two clients submit overlapping sweeps in the same loop tick —
+        # the shared cell attaches to the queued computation, runs
+        # exactly once, and both jobs receive the identical result.
+        runner = CountingRunner()
+
+        async def scenario(service):
+            job_a = service.submit(make_spec([1, 2]), client="alice")
+            job_b = service.submit(make_spec([2, 3], name="other"),
+                                   client="bob")
+            assert job_b.attached == 1
+            await asyncio.gather(job_a.done.wait(), job_b.done.wait())
+            return job_a, job_b
+
+        job_a, job_b = run_service(tmp_path, scenario, runner=runner)
+        shared = [c for c in job_a.cells if c.threads == 2][0].cell_id
+        assert runner.calls[shared] == 1
+        assert sum(runner.calls.values()) == 3          # cells 1, 2, 3
+        assert job_a.values[shared] == job_b.values[shared] == 1002.0
+        # Both jobs' result documents carry the identical cell row.
+        rows_a = json.loads(job_a.results_bytes())["results"]
+        rows_b = json.loads(job_b.results_bytes())["results"]
+        assert rows_a[shared] == rows_b[shared]
+
+    def test_warm_resubmission_served_from_store(self, tmp_path):
+        runner = CountingRunner()
+        store = None
+
+        async def scenario(service):
+            first = service.submit(make_spec([1, 2]), client="alice")
+            await first.done.wait()
+            second = service.submit(make_spec([1, 2]), client="bob")
+            assert second.done.is_set()      # no recompute, done at submit
+            return first, second
+
+        first, second = run_service(tmp_path, scenario, runner=runner,
+                                    store=store)
+        assert second.hits == 2
+        assert second.computed == 0
+        assert sum(runner.calls.values()) == 2
+        assert second.results_bytes() == first.results_bytes()
+
+
+class TestFailures:
+    def test_failed_cell_is_nan_with_error(self, tmp_path):
+        runner = CountingRunner(fail_threads={2})
+
+        async def scenario(service):
+            job = service.submit(make_spec([1, 2]), client="alice")
+            await job.done.wait()
+            return job
+
+        job = run_service(tmp_path, scenario, runner=runner)
+        assert job.failed == 1
+        assert job.computed == 1
+        (error,) = job.errors.values()
+        assert "injected failure" in error
+        rows = json.loads(job.results_bytes())["results"]
+        failed_row = [r for r in rows.values() if r["threads"] == 2][0]
+        assert failed_row["cycles"] is None     # NaN -> null in JSON
+        assert "injected failure" in failed_row["error"]
+
+
+class TestJournalResume:
+    def test_killed_service_requeues_unfinished_jobs(self, tmp_path):
+        runner = CountingRunner()
+        store = make_store(tmp_path)
+
+        async def accept_only(service):
+            # Submit and "crash" (accept-only server, dispatch never
+            # runs): the journal holds a job record with no job-end.
+            job = service.submit(make_spec([1, 2]), client="alice")
+            return job.job_id
+
+        job_id = run_service(tmp_path, accept_only, runner=runner,
+                             store=store, dispatch=False)
+        assert sum(runner.calls.values()) == 0
+
+        async def resumed(service):
+            assert service.requeued_jobs == [job_id]
+            job = service.job(job_id)            # original id survives
+            await job.done.wait()
+            return job
+
+        job = run_service(tmp_path, resumed, runner=runner, store=store)
+        assert job.computed == 2
+        assert sum(runner.calls.values()) == 2
+
+    def test_journaled_completions_survive_store_loss(self, tmp_path):
+        runner = CountingRunner()
+        store = make_store(tmp_path, cache_size=0)
+
+        async def crash_after_one(service):
+            job = service.submit(make_spec([1, 2]), client="alice")
+            await job.done.wait()
+            return job.job_id
+
+        job_id = run_service(tmp_path, crash_after_one, runner=runner,
+                             store=store)
+        # Wipe the store and re-open the journal: the completed values
+        # must come back from the WAL.  Strip the job-end record to
+        # simulate a crash between the last cell and the job-end write.
+        store.clear()
+        journal = os.path.join(store.root, "journals", "serve",
+                               "journal.jsonl")
+        lines = [line for line in
+                 open(journal, encoding="utf-8").read().splitlines()
+                 if '"job-end"' not in line]
+        with open(journal, "w", encoding="utf-8") as fh:
+            fh.write("\n".join(lines) + "\n")
+
+        async def resumed(service):
+            job = service.job(job_id)
+            await job.done.wait()
+            return job
+
+        job = run_service(tmp_path, resumed, runner=runner, store=store)
+        assert job.resumed == 2
+        assert sum(runner.calls.values()) == 2   # nothing recomputed
+
+    def test_finished_jobs_rebuild_without_duplicate_job_end(
+            self, tmp_path):
+        runner = CountingRunner()
+        store = make_store(tmp_path)
+
+        async def complete(service):
+            job = service.submit(make_spec([1]), client="alice")
+            await job.done.wait()
+            return job.job_id
+
+        job_id = run_service(tmp_path, complete, runner=runner, store=store)
+        journal = os.path.join(store.root, "journals", "serve",
+                               "journal.jsonl")
+        ends_before = open(journal, encoding="utf-8") \
+            .read().count('"job-end"')
+        assert ends_before == 1
+
+        async def reopened(service):
+            job = service.job(job_id)
+            assert job.done.is_set()
+            return job
+
+        job = run_service(tmp_path, reopened, runner=runner, store=store)
+        assert job.hits + job.resumed == 1
+        ends_after = open(journal, encoding="utf-8") \
+            .read().count('"job-end"')
+        assert ends_after == 1                   # not re-journaled
+
+    def test_resume_exceeding_quota_still_admits(self, tmp_path):
+        runner = CountingRunner()
+        store = make_store(tmp_path)
+
+        async def accept_two(service):
+            a = service.submit(make_spec([1, 2]), client="alice")
+            b = service.submit(make_spec([3, 4], name="b"), client="alice")
+            return [a.job_id, b.job_id]
+
+        ids = run_service(tmp_path, accept_two, runner=runner, store=store,
+                          quota=4, dispatch=False)
+
+        async def resumed(service):
+            assert sorted(service.requeued_jobs) == sorted(ids)
+            for job_id in ids:
+                await service.job(job_id).done.wait()
+            return service
+
+        # Restart with a *smaller* quota: replayed jobs must not be lost.
+        run_service(tmp_path, resumed, runner=runner, store=store, quota=1)
+        assert sum(runner.calls.values()) == 4
+
+
+class TestDrain:
+    def test_drain_rejects_new_and_finishes_old(self, tmp_path):
+        runner = CountingRunner()
+
+        async def scenario(service):
+            job = service.submit(make_spec([1, 2]), client="alice")
+            report = service.drain()
+            assert report["draining"] is True
+            with pytest.raises(ServiceDraining):
+                service.submit(make_spec([3], name="late"), client="bob")
+            await job.done.wait()
+            await asyncio.wait_for(service.drained.wait(), timeout=30)
+            return job
+
+        job = run_service(tmp_path, scenario, runner=runner)
+        assert job.computed == 2
+
+    def test_health_document(self, tmp_path):
+        async def scenario(service):
+            job = service.submit(make_spec([1]), client="alice")
+            await job.done.wait()
+            return service.health()
+
+        health = run_service(tmp_path, scenario, runner=CountingRunner())
+        assert health["status"] == "ok"
+        assert health["jobs"] == {"total": 1, "active": 0, "done": 1,
+                                  "requeued_on_start": 0}
+        assert health["queue"]["pushed"] == 1
+        assert health["store"]["shards"] == 4
+        assert health["journal"]["path"].endswith("journal.jsonl")

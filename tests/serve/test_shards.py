@@ -1,0 +1,182 @@
+"""Sharded result store: routing, LRU cache, maintenance fan-out."""
+
+import os
+
+import pytest
+
+from repro.campaign.store import ResultStore
+from repro.serve.shards import ShardedResultStore
+
+
+def spec_for(i: int) -> dict:
+    return {"experiment": "coloring", "graph": "auto",
+            "variant": "OpenMP-dynamic", "threads": i}
+
+
+class TestRouting:
+    def test_key_matches_flat_store(self, tmp_path):
+        flat = ResultStore(tmp_path / "flat", fingerprint="ff")
+        sharded = ShardedResultStore(tmp_path / "s", shards=4,
+                                     cache_size=0, fingerprint="ff")
+        assert sharded.key(spec_for(1)) == flat.key(spec_for(1))
+
+    def test_shard_assignment_is_stable(self, tmp_path):
+        store = ShardedResultStore(tmp_path, shards=8, cache_size=0,
+                                   fingerprint="ff")
+        key = store.key(spec_for(1))
+        assert store.shard_for(key) is store.shard_for(key)
+        assert store.shard_for(key) in store.shards
+
+    def test_values_round_trip_across_shards(self, tmp_path):
+        store = ShardedResultStore(tmp_path, shards=4, cache_size=0,
+                                   fingerprint="ff")
+        for i in range(1, 33):
+            store.put(spec_for(i), float(i))
+        for i in range(1, 33):
+            assert store.get(spec_for(i)) == float(i)
+        assert len(store) == 32
+        # With 32 keys over 4 shards the hash should spread them.
+        populated = sum(1 for n in store.health()["objects_per_shard"] if n)
+        assert populated >= 2
+
+    def test_shard_layout_on_disk(self, tmp_path):
+        store = ShardedResultStore(tmp_path, shards=2, cache_size=0,
+                                   fingerprint="ff")
+        key = store.put(spec_for(1), 1.0)
+        owner = store.shard_for(key)
+        index = store.shards.index(owner)
+        assert owner.root == os.path.join(store.root, "shards",
+                                          f"{index:02d}")
+        assert os.path.isfile(os.path.join(
+            owner.root, "objects", key[:2], f"{key[2:]}.json"))
+
+    def test_invalid_config_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            ShardedResultStore(tmp_path, shards=0, cache_size=1)
+        with pytest.raises(ValueError):
+            ShardedResultStore(tmp_path, shards=1, cache_size=-1)
+
+
+class TestCache:
+    def test_warm_get_skips_disk(self, tmp_path):
+        store = ShardedResultStore(tmp_path, shards=2, cache_size=8,
+                                   fingerprint="ff")
+        store.put(spec_for(1), 1.5)
+        # Delete the underlying file: a cache hit must still serve it.
+        (entry,) = store.entries()
+        os.remove(entry.path)
+        assert store.get(spec_for(1)) == 1.5
+        assert store.cache.hits == 1
+
+    def test_read_through_populates(self, tmp_path):
+        writer = ShardedResultStore(tmp_path, shards=2, cache_size=8,
+                                    fingerprint="ff")
+        writer.put(spec_for(1), 2.5)
+        reader = ShardedResultStore(tmp_path, shards=2, cache_size=8,
+                                    fingerprint="ff")
+        assert reader.get(spec_for(1)) == 2.5   # miss -> disk -> cached
+        assert reader.cache.misses == 1
+        assert reader.get(spec_for(1)) == 2.5   # now from the LRU
+        assert reader.cache.hits == 1
+
+    def test_eviction_is_lru_and_counted(self, tmp_path):
+        store = ShardedResultStore(tmp_path, shards=2, cache_size=2,
+                                   fingerprint="ff")
+        for i in (1, 2):
+            store.put(spec_for(i), float(i))
+        store.get(spec_for(1))                  # 1 is now most-recent
+        store.put(spec_for(3), 3.0)             # evicts 2
+        assert store.cache.evictions == 1
+        assert store.cache.size == 2
+        (entry2,) = [e for e in store.entries()
+                     if e.spec == spec_for(2)]
+        os.remove(entry2.path)
+        assert store.get(spec_for(2)) is None   # 2 was evicted, disk gone
+        # 1 and 3 still cached
+        hits_before = store.cache.hits
+        assert store.get(spec_for(1)) == 1.0
+        assert store.get(spec_for(3)) == 3.0
+        assert store.cache.hits == hits_before + 2
+
+    def test_capacity_zero_disables(self, tmp_path):
+        store = ShardedResultStore(tmp_path, shards=2, cache_size=0,
+                                   fingerprint="ff")
+        store.put(spec_for(1), 1.0)
+        assert store.cache.size == 0
+        (entry,) = store.entries()
+        os.remove(entry.path)
+        assert store.get(spec_for(1)) is None
+
+    def test_cache_hit_counts_as_store_hit(self, tmp_path):
+        # The aggregated StoreStats ledger stays authoritative even when
+        # the LRU short-circuits the disk read.
+        store = ShardedResultStore(tmp_path, shards=2, cache_size=8,
+                                   fingerprint="ff")
+        store.put(spec_for(1), 1.0)
+        store.get(spec_for(1))
+        store.get(spec_for(1))
+        assert store.stats.hits == 2
+
+
+class TestMaintenance:
+    def test_gc_fans_out_and_clears_cache(self, tmp_path):
+        old = ShardedResultStore(tmp_path, shards=4, cache_size=8,
+                                 fingerprint="aaaa")
+        for i in range(1, 9):
+            old.put(spec_for(i), float(i))
+        new = ShardedResultStore(tmp_path, shards=4, cache_size=8,
+                                 fingerprint="bbbb")
+        new.put(spec_for(1), 10.0)
+        removed, kept = new.gc()
+        assert (removed, kept) == (8, 1)
+        assert new.cache.size == 0
+        assert new.get(spec_for(1)) == 10.0
+
+    def test_gc_spares_quarantine_and_journals(self, tmp_path):
+        store = ShardedResultStore(tmp_path, shards=2, cache_size=0,
+                                   fingerprint="ff")
+        store.put(spec_for(1), 1.0)
+        journals = os.path.join(store.root, "journals", "serve")
+        os.makedirs(journals)
+        journal = os.path.join(journals, "journal.jsonl")
+        with open(journal, "w", encoding="utf-8") as fh:
+            fh.write('{"type": "job"}\n')
+        quarantine = os.path.join(store.root, "shards", "00", "quarantine")
+        os.makedirs(quarantine)
+        q_file = os.path.join(quarantine, "bad.json")
+        with open(q_file, "w", encoding="utf-8") as fh:
+            fh.write("evidence")
+        store.gc(max_age_days=0.0)
+        store.clear()
+        assert os.path.isfile(journal)
+        assert os.path.isfile(q_file)
+
+    def test_clear_empties_every_shard(self, tmp_path):
+        store = ShardedResultStore(tmp_path, shards=4, cache_size=8,
+                                   fingerprint="ff")
+        for i in range(1, 9):
+            store.put(spec_for(i), float(i))
+        assert store.clear() == 8
+        assert len(store) == 0
+        assert store.cache.size == 0
+
+    def test_verify_merges_shard_reports(self, tmp_path):
+        store = ShardedResultStore(tmp_path, shards=2, cache_size=0,
+                                   fingerprint="ff")
+        for i in (1, 2, 3):
+            store.put(spec_for(i), float(i))
+        report = store.verify()
+        assert report.checked == 3
+        assert report.ok == 3
+        assert not report.corrupt
+
+    def test_health_document(self, tmp_path):
+        store = ShardedResultStore(tmp_path, shards=4, cache_size=16,
+                                   fingerprint="ff")
+        store.put(spec_for(1), 1.0)
+        health = store.health()
+        assert health["shards"] == 4
+        assert health["objects"] == 1
+        assert sum(health["objects_per_shard"]) == 1
+        assert health["cache"]["capacity"] == 16
+        assert health["fingerprint"] == "ff"
