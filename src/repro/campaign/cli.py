@@ -202,6 +202,9 @@ def _cmd_resume(args) -> int:
         print(f"[journal corrupt at line {state.corrupt_at}; resuming "
               f"from the {len(state.completed)} cell(s) before it]",
               file=sys.stderr)
+    if journal.repair(state):
+        print("[journal tail repaired: dropped partial bytes from an "
+              "interrupted append]", file=sys.stderr)
     spec = CampaignSpec.from_dict(state.spec)
     with journal:
         cells, report = run_campaign(

@@ -52,8 +52,8 @@ import re
 
 from repro._util import canonical_json, content_checksum
 
-__all__ = ["Journal", "JournalState", "JournalError", "journal_dir",
-           "list_runs", "new_run_id", "JOURNAL_FILENAME"]
+__all__ = ["Journal", "JournalState", "JournalError", "encode_record",
+           "journal_dir", "list_runs", "new_run_id", "JOURNAL_FILENAME"]
 
 JOURNAL_FILENAME = "journal.jsonl"
 
@@ -63,6 +63,15 @@ _RUN_ID_RE = re.compile(r"^([0-9a-f]{8})-(\d+)$")
 
 class JournalError(ValueError):
     """A structurally invalid journal (bad begin record, wrong run...)."""
+
+
+def encode_record(record: dict) -> str:
+    """One journal line for *record*: crc appended, newline-terminated.
+
+    The single encoding every journal write goes through — replay's
+    :meth:`Journal._verify` is its inverse.
+    """
+    return canonical_json({**record, "crc": content_checksum(record)}) + "\n"
 
 
 def journal_dir(store_root: str, run_id: str | None = None) -> str:
@@ -117,6 +126,7 @@ class JournalState:
         self.records: int = 0                   # valid records replayed
         self.dropped_tail: bool = False         # truncated last line
         self.corrupt_at: int | None = None      # 1-based bad mid-file line
+        self.valid_bytes: int = 0               # end of last replayed record
 
 
 class Journal:
@@ -155,9 +165,15 @@ class Journal:
     # ----- appending -------------------------------------------------------
 
     def append(self, record: dict) -> None:
-        """Append one record (the ``crc`` field is added here)."""
-        line = canonical_json({**record,
-                               "crc": content_checksum(record)}) + "\n"
+        """Append one record (the ``crc`` field is added here).
+
+        Resume paths that append to a journal which may carry a torn
+        tail (a partial line from a ``kill -9`` mid-append) must call
+        :meth:`repair` first — appending after partial bytes would merge
+        the two into one mid-file corrupt line, which poisons every
+        later record on the *next* replay.
+        """
+        line = encode_record(record)
         if self._fh is None:
             self._fh = open(self.path, "a", encoding="utf-8")
         self._fh.write(line)
@@ -208,32 +224,75 @@ class Journal:
         Corrupt/truncated final lines are dropped (the crash artifact a
         WAL exists to tolerate); a corrupt record anywhere earlier stops
         replay at that point, so everything after it is conservatively
-        recomputed.
+        recomputed.  A final line without its terminating newline is
+        treated as a torn tail even when its content verifies: the
+        append was not known to finish, and trusting it would let the
+        next append land mid-line.  :attr:`JournalState.valid_bytes`
+        marks the byte just past the last replayed record —
+        :meth:`repair` truncates everything after it.
         """
         state = JournalState()
         try:
-            with open(self.path, "r", encoding="utf-8") as fh:
-                lines = fh.read().split("\n")
+            with open(self.path, "rb") as fh:
+                data = fh.read()
         except OSError as exc:
             raise JournalError(f"cannot read journal: {exc}") from None
-        if lines and lines[-1] == "":
+        lines = data.split(b"\n")
+        terminated = True
+        if lines and lines[-1] == b"":
             lines.pop()
-        for index, line in enumerate(lines):
-            record = self._verify(line)
+        else:
+            terminated = False      # no final newline: torn tail
+        offset = 0
+        for index, raw in enumerate(lines):
+            last = index == len(lines) - 1
+            record = None
+            if terminated or not last:
+                record = self._verify(raw.decode("utf-8",
+                                                 errors="replace"))
             if record is None:
-                if index == len(lines) - 1:
+                if last:
                     state.dropped_tail = True
                 else:
                     state.corrupt_at = index + 1
-                    break
-                continue
+                break
             self._apply(state, record, index)
             state.records += 1
+            offset += len(raw) + 1
+            state.valid_bytes = offset
         if state.spec is None:
             raise JournalError(
                 f"{self.path}: no valid begin record — not a journal or "
                 f"corrupted beyond recovery")
         return state
+
+    def repair(self, state: JournalState | None = None) -> bool:
+        """Truncate bytes after the last replayed record; True if cut.
+
+        Run this before the first :meth:`append` on a reopened journal.
+        A ``kill -9`` mid-append leaves a partial final line; replay
+        drops it, but a bare append would write directly after the
+        partial bytes, merging both into one mid-file corrupt line —
+        and a *mid-file* corrupt line poisons every record behind it on
+        the following replay.  Truncating to
+        :attr:`JournalState.valid_bytes` (which also discards anything
+        behind a mid-file corruption — those records were already being
+        ignored) restores the invariant that the file ends exactly at a
+        record boundary.
+        """
+        if state is None:
+            state = self.replay()
+        if self._fh is not None:
+            raise JournalError(
+                "repair() must run before the first append")
+        try:
+            size = os.path.getsize(self.path)
+        except OSError as exc:
+            raise JournalError(f"cannot stat journal: {exc}") from None
+        if size <= state.valid_bytes:
+            return False
+        os.truncate(self.path, state.valid_bytes)
+        return True
 
     @staticmethod
     def _verify(line: str) -> dict | None:

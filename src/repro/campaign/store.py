@@ -250,6 +250,13 @@ class ResultStore:
                        if fn.endswith(".json"))
         return out
 
+    def count_objects(self) -> int:
+        """Object-file count (readable or not) — listdir only, no
+        parsing.  The cheap cardinality the serve health endpoint polls;
+        :meth:`entries` opens and checksums every file and is far too
+        heavy to run per health check."""
+        return len(self._object_paths())
+
     def verify(self, repair: bool = False) -> VerifyReport:
         """Audit every object's integrity checksum.
 

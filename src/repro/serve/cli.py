@@ -39,14 +39,16 @@ def _cmd_start(args) -> int:
 
     config = ServeConfig.from_env(host=args.host, port=args.port,
                                   jobs=args.jobs, quota=args.quota,
-                                  cache_size=args.cache, shards=args.shards)
+                                  cache_size=args.cache, shards=args.shards,
+                                  retain=args.retain)
     root = args.store or default_store_root() or DEFAULT_STORE_ROOT
     store = ShardedResultStore(root, shards=config.shards,
                                cache_size=config.cache_size)
 
     def service_factory() -> CampaignService:
         return CampaignService(store, jobs=config.jobs, quota=config.quota,
-                               retries=args.retries, batch=args.batch)
+                               retries=args.retries, batch=args.batch,
+                               retain_done=config.retain)
 
     def ready(host: str, port: int) -> None:
         print(f"repro serve: listening on http://{host}:{port}", flush=True)
@@ -165,6 +167,10 @@ def main(argv=None) -> int:
                               "REPRO_RETRIES)")
     start_p.add_argument("--batch", type=int, default=None,
                          help="max cells per dispatch round")
+    start_p.add_argument("--retain", type=int, default=None,
+                         help="finished jobs kept in memory and through "
+                              "journal compaction (default "
+                              "REPRO_SERVE_RETAIN; 0 = keep all)")
 
     submit_p = sub.add_parser("submit", help="POST a campaign spec")
     submit_p.add_argument("spec", help="campaign spec JSON file")

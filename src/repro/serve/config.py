@@ -15,7 +15,7 @@ from repro._util import env_int, env_str
 
 __all__ = ["ServeConfig", "serve_host", "serve_port", "serve_url",
            "serve_jobs", "serve_quota", "serve_cache_size", "serve_shards",
-           "DEFAULT_PORT"]
+           "serve_retain", "DEFAULT_PORT"]
 
 #: Default TCP port (an unassigned IANA port; override with
 #: ``REPRO_SERVE_PORT`` or ``--port``; 0 = pick a free ephemeral port).
@@ -86,6 +86,20 @@ def serve_shards() -> int:
     return 16 if value is None else value
 
 
+def serve_retain() -> int:
+    """Finished-job retention cap from ``REPRO_SERVE_RETAIN``.
+
+    The server keeps at most this many finished jobs — in the in-memory
+    job table *and* in the startup-compacted journal (a long-running
+    server would otherwise grow its job table, its journal file, and
+    its restart replay time without bound).  Older finished jobs are
+    evicted (polling them returns 404); unfinished jobs are never
+    evicted.  ``0`` disables retention and keeps everything forever.
+    """
+    value = env_int("REPRO_SERVE_RETAIN", 512, lo=0)
+    return 512 if value is None else value
+
+
 @dataclass(frozen=True)
 class ServeConfig:
     """Resolved server configuration (env defaults + CLI overrides)."""
@@ -96,12 +110,14 @@ class ServeConfig:
     quota: int
     cache_size: int
     shards: int
+    retain: int
 
     @classmethod
     def from_env(cls, *, host: str | None = None, port: int | None = None,
                  jobs: int | None = None, quota: int | None = None,
                  cache_size: int | None = None,
-                 shards: int | None = None) -> "ServeConfig":
+                 shards: int | None = None,
+                 retain: int | None = None) -> "ServeConfig":
         """Build a config, with explicit (CLI) values taking precedence."""
         return cls(
             host=host if host is not None else serve_host(),
@@ -111,4 +127,5 @@ class ServeConfig:
             cache_size=cache_size if cache_size is not None
             else serve_cache_size(),
             shards=shards if shards is not None else serve_shards(),
+            retain=retain if retain is not None else serve_retain(),
         )

@@ -40,11 +40,13 @@ import asyncio
 import json
 import math
 import os
+import sys
 import time
 from concurrent.futures import ThreadPoolExecutor
 
 from repro._util import canonical_json, sha256_hex
-from repro.campaign.journal import Journal, JournalState
+from repro.campaign.journal import (JOURNAL_FILENAME, Journal, JournalError,
+                                    JournalState, encode_record)
 from repro.campaign.spec import CampaignSpec
 from repro.serve.queue import PriorityWorkQueue, QuotaExceeded
 
@@ -216,14 +218,19 @@ class CampaignService:
     journal_root
         Directory for the service journal (default
         ``<store.root>/journals/serve/``; None disables journaling).
+    retain_done
+        Keep at most this many finished jobs — in memory and through the
+        startup journal compaction (default ``REPRO_SERVE_RETAIN``;
+        0 = keep everything forever).  Unfinished jobs are never evicted.
     """
 
     def __init__(self, store, *, jobs: int | None = None,
                  quota: int | None = None, retries: int | None = None,
                  runner=None, batch: int | None = None,
-                 journal_root: str | None = None, clock=time.time):
+                 journal_root: str | None = None,
+                 retain_done: int | None = None, clock=time.time):
         from repro._util import env_int
-        from repro.serve.config import serve_jobs, serve_quota
+        from repro.serve.config import serve_jobs, serve_quota, serve_retain
 
         self.store = store
         self.jobs = jobs if jobs is not None else serve_jobs()
@@ -239,6 +246,8 @@ class CampaignService:
         self._journal_root = journal_root if journal_root is not None \
             else (serve_journal_dir(store.root)
                   if getattr(store, "root", None) else None)
+        self.retain_done = retain_done if retain_done is not None \
+            else serve_retain()
         self._clock = clock
         self._journal: Journal | None = None
         self._tasks: dict[str, _CellTask] = {}
@@ -291,18 +300,110 @@ class CampaignService:
             self._journal = None
 
     def _open_journal(self) -> JournalState | None:
-        """Create or open+replay the service journal."""
+        """Replay, sanitize, and compact the service journal on startup.
+
+        The journal is long-lived across restarts, so opening it is not
+        a bare append:
+
+        * **stale fingerprints** — completions journaled under a
+          different code fingerprint are discarded (serving them would
+          break byte-identity with a fresh run; the campaign CLI's
+          resume refuses the same case).  The jobs themselves survive:
+          they requeue and recompute under the current code.
+        * **compaction** — the file is atomically rewritten from the
+          replayed state: a fresh ``begin`` under the current
+          fingerprint, the completions still worth caching, and the job
+          records (live ones, plus the last :attr:`retain_done` finished
+          ones).  Rewriting also discards any torn tail or mid-file
+          corruption replay stopped at, so appends never land after
+          partial bytes, and bounds restart replay time.
+        * an unreplayable file (``kill -9`` tore the ``begin`` record
+          itself) is set aside as ``journal.jsonl.corrupt`` rather than
+          wedging every future startup.
+        """
         if self._journal_root is None:
             return None
-        path = os.path.join(self._journal_root, "journal.jsonl")
+        path = os.path.join(self._journal_root, JOURNAL_FILENAME)
+        fingerprint = getattr(self.store, "fingerprint", "")
+        state: JournalState | None = None
         if os.path.isfile(path):
-            self._journal = Journal.open(self._journal_root)
-            return self._journal.replay()
-        self._journal = Journal.create(
-            self._journal_root, run_id=SERVE_JOURNAL_NAME,
-            campaign="__serve__", spec={"service": "repro.serve"},
-            fingerprint=getattr(self.store, "fingerprint", ""))
-        return None
+            try:
+                state = Journal.open(self._journal_root).replay()
+            except JournalError as exc:
+                print(f"repro serve: journal unreplayable ({exc}); "
+                      f"setting it aside", file=sys.stderr)
+                os.replace(path, path + ".corrupt")
+        if state is None:
+            self._journal = Journal.create(
+                self._journal_root, run_id=SERVE_JOURNAL_NAME,
+                campaign="__serve__", spec={"service": "repro.serve"},
+                fingerprint=fingerprint)
+            return None
+        if state.fingerprint != fingerprint:
+            print(f"repro serve: journal fingerprint {state.fingerprint} "
+                  f"!= code fingerprint {fingerprint}; discarding "
+                  f"{len(state.completed)} journaled completion(s) — "
+                  f"replayed jobs will recompute", file=sys.stderr)
+            state.completed.clear()
+            state.failed.clear()
+        self._retire_old_jobs(state)
+        self._compact_journal(state, fingerprint)
+        self._journal = Journal.open(self._journal_root)
+        return state
+
+    def _retire_old_jobs(self, state: JournalState) -> None:
+        """Apply the :attr:`retain_done` retention policy to *state*.
+
+        Finished jobs beyond the cap are dropped oldest-first (journal
+        order); completions that no surviving job's cells can use are
+        dropped with them, so the compacted journal and the in-memory
+        resume table stay bounded together.  Unfinished jobs always
+        survive — zero lost jobs is the contract retention must not
+        bend.
+        """
+        cap = self.retain_done
+        ended = [jid for jid in state.jobs if jid in state.ended_jobs]
+        if cap and len(ended) > cap:
+            for jid in ended[:-cap]:
+                del state.jobs[jid]
+                state.ended_jobs.discard(jid)
+        keep: set[str] = set()
+        for record in state.jobs.values():
+            try:
+                cells = CampaignSpec.from_dict(record["spec"]).expand()
+            except (ValueError, KeyError, TypeError):
+                continue
+            keep.update(cell.cell_id for cell in cells)
+        for cid in [c for c in state.completed if c not in keep]:
+            del state.completed[cid]
+
+    def _compact_journal(self, state: JournalState,
+                         fingerprint: str) -> None:
+        """Atomically rewrite the journal file from replayed *state*."""
+        lines = [encode_record({"type": "begin", "run": SERVE_JOURNAL_NAME,
+                                "campaign": "__serve__",
+                                "spec": {"service": "repro.serve"},
+                                "fingerprint": fingerprint})]
+        for cid, value in state.completed.items():
+            lines.append(encode_record({"type": "completed", "cell": cid,
+                                        "value": float(value)}))
+        for job_id, record in state.jobs.items():
+            lines.append(encode_record(
+                {"type": "job", "job": job_id,
+                 "campaign": record.get("campaign"),
+                 "spec": record.get("spec"),
+                 "client": record.get("client", "anonymous"),
+                 "priority": int(record.get("priority", 0))}))
+            if job_id in state.ended_jobs:
+                lines.append(encode_record({"type": "job-end",
+                                            "job": job_id}))
+        path = os.path.join(self._journal_root, JOURNAL_FILENAME)
+        tmp = f"{path}.compact"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            fh.write("".join(lines))
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
 
     def _resume(self, state: JournalState) -> None:
         """Rebuild the job table from a replayed journal.
@@ -454,6 +555,17 @@ class CampaignService:
             try:
                 report = await loop.run_in_executor(
                     self._pool, self._run_batch, cells, loop)
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:  # noqa: BLE001 — a broken batch
+                # (store OSError, runner import failure, pool breakage)
+                # must not kill the dispatcher silently: settle its
+                # cells as failed so jobs finish with errors instead of
+                # hanging forever, then keep dispatching.
+                self._inflight = 0
+                self._fail_batch(cells, exc)
+                continue
+            try:
                 self._finalize_batch(cells, report)
             finally:
                 self._inflight = 0
@@ -472,6 +584,19 @@ class CampaignService:
             store=self.store, spec_for=lambda c: c.to_dict(),
             key_id=lambda c: c.cell_id, family_for=lambda c: c.experiment,
             on_cell=on_cell, desc="cells (serve)")
+
+    def _fail_batch(self, cells, exc: BaseException) -> None:
+        """Settle a batch whose *dispatch* blew up (not a cell failure —
+        the executor turns those into NaN values inside the report)."""
+        message = f"dispatch failed: {type(exc).__name__}: {exc}"
+        print(f"repro serve: {message}", file=sys.stderr)
+        from repro.obs import metrics as _obs_metrics
+        registry = _obs_metrics.active()
+        if registry is not None:
+            registry.incr("serve.dispatch_errors")
+        for cell in cells:
+            self._settle_cell(cell, float("nan"), message)
+        self._check_drained()
 
     def _progress(self, cell, value) -> None:
         """Per-cell completion from inside a running batch (loop thread).
@@ -541,6 +666,23 @@ class CampaignService:
         job._emit({"event": "done", "job": job.job_id,
                    "failed": job.failed, "total": job.total})
         job._close_watchers()
+        self._evict_done()
+
+    def _evict_done(self) -> None:
+        """Drop the oldest finished jobs beyond :attr:`retain_done`.
+
+        Keeps a long-running server's job table (and the journal it
+        compacts to on the next restart) bounded; an evicted job's
+        status/results return 404, exactly as after a restart beyond
+        the retention window.  Unfinished jobs are never evicted.
+        """
+        cap = self.retain_done
+        if not cap:
+            return
+        done = [job for job in self._jobs.values() if job.done.is_set()]
+        for job in done[:max(0, len(done) - cap)]:
+            del self._jobs[job.job_id]
+            self._ended_in_journal.discard(job.job_id)
 
     # ----- inspection ------------------------------------------------------
 

@@ -88,6 +88,11 @@ class ShardedResultStore:
         self._lock = threading.Lock()
         self._lru: OrderedDict[str, float] = OrderedDict()
         self.cache = CacheStats(capacity=capacity)
+        #: Per-shard object-file counts for :meth:`health`, invalidated
+        #: by any mutation (put/gc/clear/verify) — health checks on a
+        #: quiet store must not walk every shard's objects/ tree on the
+        #: event loop.
+        self._counts: list[int] | None = None
 
     # ----- keys and shard routing ------------------------------------------
 
@@ -147,7 +152,11 @@ class ShardedResultStore:
             with self._lock:
                 self.shard_for(key).stats.hits += 1
             return value
-        value = self.shard_for(key).get(spec)
+        shard = self.shard_for(key)
+        quarantined = shard.stats.quarantined
+        value = shard.get(spec)
+        if shard.stats.quarantined != quarantined:
+            self._counts = None      # a corrupt object was moved aside
         if value is not None:
             self._cache_put(key, value)
         return value
@@ -157,6 +166,7 @@ class ShardedResultStore:
         key = self.shard_for(self.key(spec)).put(spec, value)
         if key is not None:
             self._cache_put(key, float(value))
+            self._counts = None
         return key
 
     def contains(self, spec: dict) -> bool:
@@ -182,9 +192,23 @@ class ShardedResultStore:
             total.skipped_nonfinite += shard.stats.skipped_nonfinite
         return total
 
+    def object_counts(self) -> list[int]:
+        """Per-shard object-file counts (cached between mutations).
+
+        The walk (listdir only — files are counted, never parsed) runs
+        at most once per mutation; on a quiet store repeated health
+        checks are served from the cache without touching the
+        filesystem at all.
+        """
+        counts = self._counts
+        if counts is None:
+            counts = [shard.count_objects() for shard in self.shards]
+            self._counts = counts
+        return list(counts)
+
     def health(self) -> dict:
         """The store block of the server's health report."""
-        per_shard = [len(shard.entries()) for shard in self.shards]
+        per_shard = self.object_counts()
         return {"root": self.root, "fingerprint": self.fingerprint,
                 "shards": self.n_shards, "objects": sum(per_shard),
                 "objects_per_shard": per_shard,
@@ -216,6 +240,7 @@ class ShardedResultStore:
         with self._lock:
             self._lru.clear()
             self.cache.size = 0
+        self._counts = None
         return removed, kept
 
     def clear(self) -> int:
@@ -224,6 +249,7 @@ class ShardedResultStore:
         with self._lock:
             self._lru.clear()
             self.cache.size = 0
+        self._counts = None
         return removed
 
     def verify(self, repair: bool = False) -> VerifyReport:
@@ -235,6 +261,8 @@ class ShardedResultStore:
             report.ok += part.ok
             report.corrupt.extend(part.corrupt)
             report.quarantined.extend(part.quarantined)
+        if repair:
+            self._counts = None
         return report
 
     def __len__(self) -> int:

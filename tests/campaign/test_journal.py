@@ -99,6 +99,80 @@ class TestCorruption:
         with pytest.raises(JournalError, match="begin"):
             Journal.open(tmp_path / "abcd1234-1").replay()
 
+    def test_unterminated_final_line_is_a_torn_tail(self, tmp_path):
+        # Even when the bytes verify, a line without its newline is an
+        # append that was never known to finish — trusting it would let
+        # the next append land mid-line.
+        with make(tmp_path) as journal:
+            journal.completed("cell-a", 1.0)
+            journal.completed("cell-b", 2.0)
+        raw = self.path(tmp_path).read_bytes()
+        assert raw.endswith(b"\n")
+        self.path(tmp_path).write_bytes(raw[:-1])
+        state = Journal.open(tmp_path / "abcd1234-1").replay()
+        assert state.dropped_tail
+        assert state.completed == {"cell-a": 1.0}
+
+
+class TestRepair:
+    def path(self, tmp_path):
+        return tmp_path / "abcd1234-1" / JOURNAL_FILENAME
+
+    def test_repair_is_noop_on_clean_journal(self, tmp_path):
+        with make(tmp_path) as journal:
+            journal.completed("cell-a", 1.0)
+        journal = Journal.open(tmp_path / "abcd1234-1")
+        state = journal.replay()
+        assert state.valid_bytes == os.path.getsize(self.path(tmp_path))
+        assert journal.repair(state) is False
+
+    def test_append_after_torn_tail_survives_next_replay(self, tmp_path):
+        # The kill -9 double-restart scenario: a torn tail, then an
+        # append, then another replay.  Without repair the append merges
+        # with the partial bytes into one mid-file corrupt line and
+        # every later record is discarded.
+        with make(tmp_path) as journal:
+            journal.completed("cell-a", 1.0)
+        with open(self.path(tmp_path), "a", encoding="utf-8") as fh:
+            fh.write('{"type": "completed", "cell": "cell-b", "va')
+        journal = Journal.open(tmp_path / "abcd1234-1")
+        state = journal.replay()
+        assert state.dropped_tail
+        assert journal.repair(state) is True
+        with journal:
+            journal.completed("cell-c", 3.0)
+            journal.end()
+        fresh = Journal.open(tmp_path / "abcd1234-1").replay()
+        assert fresh.completed == {"cell-a": 1.0, "cell-c": 3.0}
+        assert fresh.ended
+        assert not fresh.dropped_tail and fresh.corrupt_at is None
+
+    def test_repair_truncates_past_midfile_corruption(self, tmp_path):
+        # Records behind a mid-file corruption are already ignored by
+        # replay; repair makes the file agree so appends are replayable.
+        with make(tmp_path) as journal:
+            journal.completed("cell-a", 1.0)
+            journal.completed("cell-b", 2.0)
+        lines = self.path(tmp_path).read_text().splitlines()
+        lines[1] = lines[1].replace('"cell-a"', '"cell-X"')  # breaks crc
+        self.path(tmp_path).write_text("\n".join(lines) + "\n")
+        journal = Journal.open(tmp_path / "abcd1234-1")
+        state = journal.replay()
+        assert state.corrupt_at == 2
+        assert journal.repair(state) is True
+        with journal:
+            journal.completed("cell-d", 4.0)
+        fresh = Journal.open(tmp_path / "abcd1234-1").replay()
+        assert fresh.completed == {"cell-d": 4.0}
+        assert fresh.corrupt_at is None
+
+    def test_repair_refuses_after_append(self, tmp_path):
+        journal = make(tmp_path)
+        with journal:
+            journal.completed("cell-a", 1.0)
+            with pytest.raises(JournalError, match="before the first"):
+                journal.repair()
+
 
 class TestConstruction:
     def test_create_refuses_existing(self, tmp_path):

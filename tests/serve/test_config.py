@@ -12,7 +12,7 @@ class TestDefaults:
         for var in ("REPRO_SERVE_HOST", "REPRO_SERVE_PORT",
                     "REPRO_SERVE_URL", "REPRO_SERVE_JOBS",
                     "REPRO_SERVE_QUOTA", "REPRO_SERVE_CACHE",
-                    "REPRO_SERVE_SHARDS"):
+                    "REPRO_SERVE_SHARDS", "REPRO_SERVE_RETAIN"):
             monkeypatch.delenv(var, raising=False)
         config = ServeConfig.from_env()
         assert config.host == "127.0.0.1"
@@ -21,6 +21,7 @@ class TestDefaults:
         assert config.quota == 1024
         assert config.cache_size == 4096
         assert config.shards == 16
+        assert config.retain == 512
         assert serve_url() == f"http://127.0.0.1:{DEFAULT_PORT}"
 
 

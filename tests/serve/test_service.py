@@ -284,6 +284,179 @@ class TestJournalResume:
             .read().count('"job-end"')
         assert ends_after == 1                   # not re-journaled
 
+    def test_torn_tail_then_append_survives_double_restart(self, tmp_path):
+        # The kill -9 scenario end to end: a SIGKILL mid-append leaves a
+        # partial final line; the restarted server must not append after
+        # the partial bytes (that would merge them into one mid-file
+        # corrupt line and silently lose every record of the second
+        # session on the *third* start).
+        runner = CountingRunner()
+        store = make_store(tmp_path)
+
+        async def accept_only(service):
+            return service.submit(make_spec([1, 2]), client="alice").job_id
+
+        job_id = run_service(tmp_path, accept_only, runner=runner,
+                             store=store, dispatch=False)
+        journal = os.path.join(store.root, "journals", "serve",
+                               "journal.jsonl")
+        with open(journal, "a", encoding="utf-8") as fh:
+            fh.write('{"type": "job", "job": "torn-999", "ca')  # no \n
+
+        async def resumed(service):
+            assert service.requeued_jobs == [job_id]
+            await service.job(job_id).done.wait()
+            return service
+
+        run_service(tmp_path, resumed, runner=runner, store=store)
+        assert sum(runner.calls.values()) == 2
+
+        async def third(service):
+            job = service.job(job_id)       # second session's records
+            assert job.done.is_set()        # survived the third replay
+            return job
+
+        job = run_service(tmp_path, third, runner=runner, store=store)
+        assert job.hits + job.resumed == 2
+        assert sum(runner.calls.values()) == 2   # nothing recomputed
+
+    def test_stale_fingerprint_discards_journaled_values(self, tmp_path):
+        # The serve journal outlives code changes.  Completions recorded
+        # under an older fingerprint must not be served as resume hits —
+        # the determinism contract is byte-identity with a fresh run of
+        # the *current* code.  The jobs themselves still requeue.
+        runner = CountingRunner()
+        store = make_store(tmp_path, cache_size=0)      # fingerprint ff
+
+        async def complete(service):
+            job = service.submit(make_spec([1, 2]), client="alice")
+            await job.done.wait()
+            return job.job_id
+
+        job_id = run_service(tmp_path, complete, runner=runner, store=store)
+        store.clear()
+        journal = os.path.join(store.root, "journals", "serve",
+                               "journal.jsonl")
+        lines = [line for line in
+                 open(journal, encoding="utf-8").read().splitlines()
+                 if '"job-end"' not in line]
+        with open(journal, "w", encoding="utf-8") as fh:
+            fh.write("\n".join(lines) + "\n")
+
+        changed = make_store(tmp_path, cache_size=0, fingerprint="gg")
+
+        async def resumed(service):
+            job = service.job(job_id)
+            await job.done.wait()
+            return job
+
+        job = run_service(tmp_path, resumed, runner=runner, store=changed)
+        assert job.resumed == 0                  # stale values not served
+        assert job.computed == 2
+        assert sum(runner.calls.values()) == 4   # recomputed, not replayed
+        first = json.loads(open(journal, encoding="utf-8").readline())
+        assert first["fingerprint"] == "gg"      # journal re-keyed
+
+    def test_journal_compacts_and_stays_byte_stable(self, tmp_path):
+        runner = CountingRunner()
+        store = make_store(tmp_path)
+
+        async def complete(service):
+            job = service.submit(make_spec([1]), client="alice")
+            await job.done.wait()
+            return job.job_id
+
+        run_service(tmp_path, complete, runner=runner, store=store)
+
+        async def idle(service):
+            return service
+
+        journal = os.path.join(store.root, "journals", "serve",
+                               "journal.jsonl")
+        run_service(tmp_path, idle, runner=runner, store=store,
+                    dispatch=False)
+        once = open(journal, "rb").read()
+        assert once.count(b'"begin"') == 1
+        assert once.count(b'"job-end"') == 1
+        run_service(tmp_path, idle, runner=runner, store=store,
+                    dispatch=False)
+        assert open(journal, "rb").read() == once   # compaction fixpoint
+
+
+class TestDispatchFailure:
+    def test_broken_batch_fails_jobs_instead_of_hanging(self, tmp_path):
+        # If the batch itself blows up (store OSError, pool breakage),
+        # the dispatcher must settle the cells as failed and keep
+        # serving — not die silently with the jobs stuck pending.
+        runner = CountingRunner()
+
+        async def scenario(service):
+            def boom(cells, loop):
+                raise RuntimeError("pool on fire")
+
+            service._run_batch = boom
+            broken = service.submit(make_spec([1, 2]), client="alice")
+            await asyncio.wait_for(broken.done.wait(), timeout=30)
+            assert broken.failed == 2
+            assert all("dispatch failed" in e
+                       for e in broken.errors.values())
+            assert service.queue.loads() == {}       # quota released
+            del service._run_batch                   # dispatcher survived
+            healthy = service.submit(make_spec([3], name="after"),
+                                     client="alice")
+            await asyncio.wait_for(healthy.done.wait(), timeout=30)
+            return healthy
+
+        healthy = run_service(tmp_path, scenario, runner=runner)
+        assert healthy.computed == 1
+
+
+class TestRetention:
+    def test_oldest_done_jobs_evicted_at_cap(self, tmp_path):
+        runner = CountingRunner()
+
+        async def scenario(service):
+            ids = []
+            for threads in (1, 2, 3):
+                job = service.submit(make_spec([threads], name=f"s{threads}"),
+                                     client="alice")
+                await job.done.wait()
+                ids.append(job.job_id)
+            return service, ids
+
+        service, ids = run_service(tmp_path, scenario, runner=runner,
+                                   retain_done=1)
+        assert [j.job_id for j in service.jobs_list()] == [ids[-1]]
+        with pytest.raises(UnknownJob):
+            service.job(ids[0])
+
+    def test_retention_survives_restart_via_compaction(self, tmp_path):
+        runner = CountingRunner()
+        store = make_store(tmp_path)
+
+        async def two_jobs(service):
+            ids = []
+            for threads in (1, 2):
+                job = service.submit(make_spec([threads], name=f"s{threads}"),
+                                     client="alice")
+                await job.done.wait()
+                ids.append(job.job_id)
+            return ids
+
+        ids = run_service(tmp_path, two_jobs, runner=runner, store=store,
+                          retain_done=2)
+
+        async def reopened(service):
+            return service
+
+        service = run_service(tmp_path, reopened, runner=runner,
+                              store=store, retain_done=1, dispatch=False)
+        assert [j.job_id for j in service.jobs_list()] == [ids[-1]]
+        journal = open(os.path.join(store.root, "journals", "serve",
+                                    "journal.jsonl"), "rb").read()
+        assert journal.count(b'"job-end"') == 1
+        assert ids[0].encode() not in journal
+
     def test_resume_exceeding_quota_still_admits(self, tmp_path):
         runner = CountingRunner()
         store = make_store(tmp_path)

@@ -180,3 +180,30 @@ class TestMaintenance:
         assert sum(health["objects_per_shard"]) == 1
         assert health["cache"]["capacity"] == 16
         assert health["fingerprint"] == "ff"
+
+    def test_object_counts_cached_until_mutation(self, tmp_path):
+        # health() must not walk every shard per call: the counts are
+        # cached and only refreshed after a mutation.
+        store = ShardedResultStore(tmp_path, shards=4, cache_size=16,
+                                   fingerprint="ff")
+        store.put(spec_for(1), 1.0)
+        assert store.health()["objects"] == 1
+        walked = {"n": 0}
+        original = type(store.shards[0]).count_objects
+
+        def counting(shard):
+            walked["n"] += 1
+            return original(shard)
+
+        for shard in store.shards:
+            shard.count_objects = counting.__get__(shard)
+        assert store.health()["objects"] == 1    # cache warm after put
+        assert walked["n"] == 0
+        store.put(spec_for(2), 2.0)              # mutation invalidates
+        assert store.health()["objects"] == 2
+        assert walked["n"] == 4
+        assert store.health()["objects"] == 2    # cached again
+        assert walked["n"] == 4
+        store.clear()
+        assert store.health()["objects"] == 0
+        assert walked["n"] == 8
