@@ -18,6 +18,11 @@ items must move:
     The campaign service over live HTTP on an ephemeral port: cold
     submit-to-result latency (journal fsyncs and all) and warm-hit
     resubmission throughput against a pre-seeded sharded store.
+``graphs``
+    The graph registry at million-vertex scale: one cold streaming
+    build of ``tube:1m`` into a fresh registry, and the warm path — a
+    new registry instance memory-mapping the same ``.rgr`` file — which
+    is the cost every campaign worker pays per graph after the first.
 
 Every benchmark pins its environment (graphs, thread counts, fast mode;
 store and checkpoint resume *off* so repetitions measure compute, not
@@ -285,6 +290,71 @@ def _bench_serve_warm_hits() -> None:
             status, _raw = client.job_results(url, accepted["job"])
             if status != 200:
                 raise RuntimeError(f"results fetch failed: {status}")
+
+
+# ----- graphs suite: registry cold build vs warm mmap load ------------------
+
+#: The graph the registry benchmarks build/load: the smallest name that
+#: exercises true million-vertex scale (~12.5M directed entries, ~55 MiB
+#: on disk).
+_GRAPHS_BENCH_NAME = "tube:1m"
+
+#: Lazily-built registry root shared by the warm-load repetitions, so
+#: the ~4s build is paid once, not per sample.  Cleaned up at exit.
+_graphs_warm_root: str | None = None
+
+
+def _graphs_warm_registry_root() -> str:
+    global _graphs_warm_root
+    if _graphs_warm_root is None:
+        import atexit
+        import shutil
+        from repro.graphstore.registry import GraphRegistry
+        root = tempfile.mkdtemp(prefix="repro-bench-graphs-")
+        GraphRegistry(root).build(_GRAPHS_BENCH_NAME)
+        atexit.register(shutil.rmtree, root, True)
+        _graphs_warm_root = root
+    return _graphs_warm_root
+
+
+@_register("graphs-cold-build", "graphs",
+           f"streaming build + save of {_GRAPHS_BENCH_NAME}, fresh registry")
+def _bench_graphs_cold_build() -> None:
+    """The full cold path: parse the name, stream-generate a million
+    vertices through the external CSR builder, write the checksummed
+    ``.rgr``, and mmap it back."""
+    from repro.graphstore.registry import GraphRegistry
+    with _pinned_env({}), tempfile.TemporaryDirectory() as root:
+        registry = GraphRegistry(root)
+        graph = registry.get(_GRAPHS_BENCH_NAME)
+        if registry.stats.builds != 1 or graph.n_vertices < 1_000_000:
+            raise RuntimeError(f"expected one 1M-vertex cold build, got "
+                               f"{registry.stats.to_dict()}")
+
+
+#: Warm loads per repetition: one mmap open is sub-millisecond, so a
+#: single load is all clock noise; 20 fresh-registry loads amortise it.
+_GRAPHS_WARM_LOADS = 20
+
+
+@_register("graphs-warm-load", "graphs",
+           f"{_GRAPHS_WARM_LOADS} zero-copy mmap loads of a built "
+           f"{_GRAPHS_BENCH_NAME}")
+def _bench_graphs_warm_load() -> None:
+    """The per-worker warm path: a fresh registry instance (cold handle
+    cache, as in a new fork) resolving the same name must load via mmap
+    with zero generation — O(1) header checks, no payload read."""
+    from repro.graphstore.registry import GraphRegistry
+    with _pinned_env({}):
+        root = _graphs_warm_registry_root()
+        for _ in range(_GRAPHS_WARM_LOADS):
+            registry = GraphRegistry(root)
+            graph = registry.get(_GRAPHS_BENCH_NAME)
+            if registry.stats.builds != 0 or registry.stats.hits != 1:
+                raise RuntimeError(f"warm load regenerated the graph: "
+                                   f"{registry.stats.to_dict()}")
+            if graph.n_vertices < 1_000_000:
+                raise RuntimeError("warm load returned the wrong graph")
 
 
 # ----- suite execution ------------------------------------------------------

@@ -21,6 +21,15 @@ Registered experiments:
     Fault-degradation runners; the grid's third axis is the fault
     intensity in percent (``axis="intensity"``) and the campaign seed
     selects the fault scenario.
+
+Graph resolution: every adapter reaches its suite graph through
+:func:`repro.graph.suite.suite_graph` (directly or via
+``ordered_suite_graph``).  With ``REPRO_GRAPH_DIR`` set — worker forks
+inherit it — that call resolves through the :mod:`repro.graphstore`
+registry: the first process builds the ``.rgr`` file once, every other
+worker and every warm rerun memory-maps it with zero generation (the
+``graphstore.hits``/``graphstore.misses`` obs counters prove which path
+ran).  Unset, workers regenerate in-process exactly as before.
 """
 
 from __future__ import annotations

@@ -43,6 +43,15 @@ Campaign service (``repro.serve``):
   campaign specs as jobs, dedupes shared cells, and serves
   byte-deterministic results from a sharded store.
 
+Graph registry (``repro.graphstore``):
+
+* ``repro graphs build|ls|verify|gc ...`` delegates to
+  :mod:`repro.graphstore.cli` — named graphs (``suite:ldoor``,
+  ``tube:1m``, ``rmat:s20``) built once as checksummed ``.rgr``
+  binaries and memory-mapped on every later load; with
+  ``REPRO_GRAPH_DIR`` set, suite graphs everywhere (figures, campaign
+  workers, serve) resolve through the registry instead of regenerating.
+
 Benchmarking (``repro.bench``):
 
 * ``repro bench run|profile|compare|trend ...`` delegates to
@@ -112,6 +121,9 @@ def main(argv=None) -> int:
     if argv and argv[0] == "serve":
         from repro.serve.cli import main as serve_main
         return serve_main(list(argv[1:]))
+    if argv and argv[0] == "graphs":
+        from repro.graphstore.cli import main as graphs_main
+        return graphs_main(list(argv[1:]))
 
     parser = argparse.ArgumentParser(
         prog="repro-experiments",

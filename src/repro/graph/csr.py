@@ -91,6 +91,34 @@ class CSRGraph:
         return cls(indptr=indptr, indices=dst.astype(np.int32), name=name)
 
     @classmethod
+    def from_validated_arrays(cls, indptr: np.ndarray, indices: np.ndarray,
+                              name: str = "graph") -> "CSRGraph":
+        """Adopt CSR arrays that already satisfy :meth:`validate`, zero-copy.
+
+        The normal constructor copies into contiguous buffers and runs the
+        full O(n + m) validation — both of which defeat lazy memory-mapped
+        loading (``repro.graphstore`` maps multi-hundred-MB ``indices``
+        sections that must not be paged in up front).  Callers promise the
+        arrays are structurally valid (the ``.rgr`` format guarantees this
+        at write time and guards integrity with checksums); only O(1)
+        anchors are checked here.
+        """
+        if indptr.dtype != np.int64 or indices.dtype != np.int32:
+            raise ValueError(
+                f"expected int64 indptr / int32 indices, got "
+                f"{indptr.dtype}/{indices.dtype}")
+        if indptr.ndim != 1 or indices.ndim != 1 or len(indptr) < 1:
+            raise ValueError("indptr/indices must be 1-D with len(indptr) >= 1")
+        if indptr[0] != 0 or indptr[-1] != len(indices):
+            raise ValueError("indptr must start at 0 and end at len(indices)")
+        graph = object.__new__(cls)
+        object.__setattr__(graph, "indptr", indptr)
+        object.__setattr__(graph, "indices", indices)
+        object.__setattr__(graph, "name", name)
+        object.__setattr__(graph, "_degrees", np.diff(indptr))
+        return graph
+
+    @classmethod
     def from_scipy(cls, matrix, name: str = "graph") -> "CSRGraph":
         """Build from a scipy sparse matrix (pattern only, symmetrised)."""
         import scipy.sparse as sp

@@ -103,9 +103,22 @@ def suite_scale(name: str) -> float:
 
 @lru_cache(maxsize=None)
 def suite_graph(name: str) -> CSRGraph:
-    """Build (and memoise) the named suite graph."""
+    """Build (and memoise) the named suite graph.
+
+    When ``REPRO_GRAPH_DIR`` is set the graph resolves through the
+    :mod:`repro.graphstore` registry (``suite:<name>``): built once on
+    disk, then memory-mapped — campaign worker forks and repeat
+    processes skip generation entirely.  The registry build uses the
+    identical :class:`SuiteSpec` parameters, so both paths return
+    structurally identical graphs.  Tests that toggle the env var must
+    ``suite_graph.cache_clear()`` (the memo is keyed on *name* only).
+    """
     if name not in SUITE:
         raise KeyError(f"unknown suite graph {name!r}; pick from {sorted(SUITE)}")
+    from repro.graphstore.registry import registry_from_env
+    registry = registry_from_env()
+    if registry is not None:
+        return registry.get(f"suite:{name}")
     s = SUITE[name]
     return tube_mesh(s.n, s.section, s.clique, s.cliques_per_vertex, s.coupling,
                      hubs=s.hubs, hub_degree=s.hub_degree, seed=s.seed,

@@ -1,0 +1,29 @@
+"""On-disk graph substrate: binary CSR files and a named graph registry.
+
+``repro.graphstore`` is what lets the suite scale past per-process
+generation: graphs are built once, written as versioned + checksummed
+``.rgr`` binaries, and every subsequent load is a zero-copy ``mmap``
+(:mod:`repro.graphstore.format`).  The registry
+(:mod:`repro.graphstore.registry`) maps stable names — ``suite:ldoor``,
+``tube:1m``, ``rmat:s20`` — to build-once-then-mmap entries keyed by a
+generator-parameter fingerprint, with ``ls``/``verify``/``gc``
+maintenance mirroring the campaign :class:`~repro.campaign.store.ResultStore`
+(corrupt files are quarantined and rebuilt).  Million-vertex instances
+are produced without materialising full edge lists by the bounded-memory
+external builder in :mod:`repro.graphstore.builder`.
+"""
+
+from repro.graphstore.builder import StreamingCSRBuilder
+from repro.graphstore.format import (RGRError, RGRHeader, load_graph,
+                                     read_header, save_graph, verify_file)
+from repro.graphstore.names import GraphSpec, parse_graph_name
+from repro.graphstore.registry import (DEFAULT_GRAPH_DIR, GraphRegistry,
+                                       registry_from_env)
+
+__all__ = [
+    "StreamingCSRBuilder",
+    "RGRError", "RGRHeader", "load_graph", "read_header", "save_graph",
+    "verify_file",
+    "GraphSpec", "parse_graph_name",
+    "DEFAULT_GRAPH_DIR", "GraphRegistry", "registry_from_env",
+]

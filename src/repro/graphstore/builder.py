@@ -1,0 +1,241 @@
+"""Bounded-memory external CSR builder for streaming graph generation.
+
+:meth:`CSRGraph.from_edges` materialises every intermediate at full
+size: the ``(m, 2)`` int64 edge array, the symmetrised ``2m`` source and
+destination copies, the lexsort permutation, and the dedupe mask —
+roughly ``56 bytes x 2|E|`` of peak RSS on top of the final CSR.  That
+caps generation at "laptop scale".  This builder accepts edges in
+blocks and produces the *identical* graph (same drop-self-loops /
+symmetrise / per-row sort / dedupe semantics) while holding only
+O(n_vertices) counters plus O(block) temporaries in RAM; the bulk data
+lives in temporary files:
+
+1. **Ingest** — each ``add_edges`` block is symmetrised, appended to a
+   spill file as interleaved ``(src, dst)`` int32 pairs, and counted
+   into a per-vertex raw-degree array.
+2. **Scatter** — raw degrees prefix-sum into provisional row offsets; a
+   second pass over the spill scatters every destination into its row's
+   slice of a writable scratch memmap (a cursor array tracks fill).
+3. **Compact** — rows are processed in bounded chunks: sort + dedupe
+   each row, stream the surviving entries to the final indices file,
+   then cumulative-sum the deduped degrees into the final ``indptr``.
+
+:meth:`finalize` maps the result read-only and unlinks the backing file
+(POSIX keeps the data alive until the mapping drops), so the returned
+:class:`~repro.graph.csr.CSRGraph` owns its storage with no path to
+clean up and never holds the indices in the Python heap.
+"""
+
+from __future__ import annotations
+
+import mmap
+import os
+import tempfile
+
+import numpy as np
+
+from repro._util import env_int
+from repro.graph.csr import CSRGraph
+
+__all__ = ["StreamingCSRBuilder", "DEFAULT_BLOCK_EDGES"]
+
+#: Directed entries processed per block (``REPRO_GRAPH_BLOCK`` overrides).
+DEFAULT_BLOCK_EDGES = 1 << 20
+
+
+def default_block_edges() -> int:
+    """Block granularity from ``REPRO_GRAPH_BLOCK`` (entries per block)."""
+    value = env_int("REPRO_GRAPH_BLOCK", DEFAULT_BLOCK_EDGES, lo=1024)
+    assert value is not None
+    return value
+
+
+class StreamingCSRBuilder:
+    """Accumulate edges block-wise; finalize into a mmap-backed CSR graph.
+
+    Vertex IDs must fit int32 (n < 2**31 — far above the 10⁷ target).
+    A builder is single-use: :meth:`finalize` may be called once.
+    """
+
+    def __init__(self, n_vertices: int, block_edges: int | None = None,
+                 workdir: str | None = None):
+        if n_vertices < 0:
+            raise ValueError(f"n_vertices must be >= 0, got {n_vertices}")
+        if n_vertices >= 2 ** 31:
+            raise ValueError(f"n_vertices {n_vertices} exceeds int32 range")
+        self.n_vertices = int(n_vertices)
+        self.block_edges = int(block_edges if block_edges is not None
+                               else default_block_edges())
+        if self.block_edges < 2:
+            raise ValueError(f"block_edges must be >= 2, got {block_edges}")
+        self._workdir = workdir
+        self._raw_degrees = np.zeros(self.n_vertices, dtype=np.int64)
+        self._spill = None  # lazy: empty graphs never touch disk
+        self._pending: list[np.ndarray] = []
+        self._pending_rows = 0
+        self._n_raw = 0
+        self._finalized = False
+
+    # ----- ingest ----------------------------------------------------------
+
+    def add_edges(self, u, v) -> None:
+        """Add undirected edges ``{u[i], v[i]}``; self-loops are dropped."""
+        if self._finalized:
+            raise RuntimeError("builder already finalized")
+        u = np.asarray(u, dtype=np.int64).ravel()
+        v = np.asarray(v, dtype=np.int64).ravel()
+        if u.shape != v.shape:
+            raise ValueError(f"u/v length mismatch: {u.shape} vs {v.shape}")
+        if u.size == 0:
+            return
+        lo = min(u.min(), v.min())
+        hi = max(u.max(), v.max())
+        if lo < 0 or hi >= self.n_vertices:
+            raise ValueError("edge endpoint out of range")
+        keep = u != v
+        if not keep.all():
+            u, v = u[keep], v[keep]
+        if u.size == 0:
+            return
+        both = np.empty((2 * u.size, 2), dtype=np.int32)
+        both[:u.size, 0] = u
+        both[:u.size, 1] = v
+        both[u.size:, 0] = v
+        both[u.size:, 1] = u
+        self._pending.append(both)
+        self._pending_rows += len(both)
+        if self._pending_rows >= self.block_edges:
+            self._flush()
+
+    def _flush(self) -> None:
+        if not self._pending:
+            return
+        data = (self._pending[0] if len(self._pending) == 1
+                else np.concatenate(self._pending))
+        self._pending = []
+        self._pending_rows = 0
+        self._raw_degrees += np.bincount(data[:, 0],
+                                         minlength=self.n_vertices)
+        if self._spill is None:
+            self._spill = tempfile.TemporaryFile(dir=self._workdir)
+        self._spill.write(memoryview(data))
+        self._n_raw += len(data)
+
+    # ----- finalize --------------------------------------------------------
+
+    def finalize(self, name: str = "graph") -> CSRGraph:
+        """Scatter, sort, dedupe; return the finished mmap-backed graph."""
+        if self._finalized:
+            raise RuntimeError("builder already finalized")
+        self._flush()
+        self._finalized = True
+        n = self.n_vertices
+        raw_offsets = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(self._raw_degrees, out=raw_offsets[1:])
+        try:
+            scratch = self._scatter(raw_offsets)
+            try:
+                indptr, indices = self._compact(raw_offsets, scratch)
+            finally:
+                if scratch is not None:
+                    base = scratch.base
+                    del scratch
+                    if isinstance(base, mmap.mmap):
+                        base.close()
+        finally:
+            if self._spill is not None:
+                self._spill.close()
+                self._spill = None
+            self._raw_degrees = np.zeros(0, dtype=np.int64)
+        return CSRGraph.from_validated_arrays(indptr, indices, name=name)
+
+    def _scatter(self, raw_offsets: np.ndarray) -> np.ndarray | None:
+        """Pass 2: place every spilled entry into its row's scratch slice."""
+        total = self._n_raw
+        if total == 0:
+            return None
+        assert self._spill is not None
+        fd, path = tempfile.mkstemp(dir=self._workdir, suffix=".scatter")
+        try:
+            os.ftruncate(fd, total * 4)
+            mapped = mmap.mmap(fd, total * 4, access=mmap.ACCESS_WRITE)
+        finally:
+            os.close(fd)
+            os.unlink(path)  # mapping keeps the blocks alive
+        scratch = np.frombuffer(mapped, dtype=np.int32, count=total)
+        # np.frombuffer of a writable mmap still yields a read-only view.
+        scratch.flags.writeable = True
+        cursor = raw_offsets[:-1].copy()
+        self._spill.seek(0)
+        chunk_bytes = self.block_edges * 8  # one (src, dst) int32 pair each
+        while True:
+            buf = self._spill.read(chunk_bytes)
+            if not buf:
+                break
+            pairs = np.frombuffer(buf, dtype=np.int32).reshape(-1, 2)
+            src = pairs[:, 0].astype(np.int64)
+            dst = pairs[:, 1]
+            order = np.argsort(src, kind="stable")
+            src_sorted = src[order]
+            rows, first, counts = np.unique(src_sorted, return_index=True,
+                                            return_counts=True)
+            rank = (np.arange(len(src_sorted), dtype=np.int64)
+                    - np.repeat(first, counts))
+            scratch[cursor[src_sorted] + rank] = dst[order]
+            cursor[rows] += counts
+        return scratch
+
+    def _compact(self, raw_offsets: np.ndarray,
+                 scratch: np.ndarray | None) -> tuple[np.ndarray, np.ndarray]:
+        """Pass 3: per-row sort + dedupe, streamed to the final file."""
+        n = self.n_vertices
+        degrees = np.zeros(n, dtype=np.int64)
+        fd, path = tempfile.mkstemp(dir=self._workdir, suffix=".indices")
+        out = os.fdopen(fd, "wb")
+        try:
+            if scratch is not None:
+                v0 = 0
+                while v0 < n:
+                    # Advance until the chunk holds ~block raw entries
+                    # (always at least one row, so a single huge row still
+                    # fits — bounded by the max raw degree, not |E|).
+                    target = raw_offsets[v0] + self.block_edges
+                    v1 = int(np.searchsorted(raw_offsets, target,
+                                             side="left"))
+                    v1 = max(v0 + 1, min(v1, n))
+                    seg = np.array(
+                        scratch[raw_offsets[v0]:raw_offsets[v1]])
+                    if seg.size:
+                        rows = np.repeat(
+                            np.arange(v0, v1, dtype=np.int64),
+                            np.diff(raw_offsets[v0:v1 + 1]))
+                        order = np.lexsort((seg, rows))
+                        rows_sorted = rows[order]
+                        seg_sorted = seg[order]
+                        uniq = np.empty(len(seg_sorted), dtype=bool)
+                        uniq[0] = True
+                        np.logical_or(rows_sorted[1:] != rows_sorted[:-1],
+                                      seg_sorted[1:] != seg_sorted[:-1],
+                                      out=uniq[1:])
+                        rows_uniq = rows_sorted[uniq]
+                        seg_uniq = np.ascontiguousarray(seg_sorted[uniq])
+                        degrees[v0:v1] = np.bincount(rows_uniq - v0,
+                                                     minlength=v1 - v0)
+                        out.write(memoryview(seg_uniq))
+                    v0 = v1
+            out.flush()
+            size = out.tell()
+            indptr = np.zeros(n + 1, dtype=np.int64)
+            np.cumsum(degrees, out=indptr[1:])
+            assert indptr[-1] * 4 == size
+            if size == 0:
+                indices = np.empty(0, dtype=np.int32)
+            else:
+                mapped = mmap.mmap(out.fileno(), size,
+                                   access=mmap.ACCESS_READ)
+                indices = np.frombuffer(mapped, dtype=np.int32,
+                                        count=int(indptr[-1]))
+        finally:
+            out.close()
+            os.unlink(path)
+        return indptr, indices

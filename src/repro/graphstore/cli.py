@@ -1,0 +1,168 @@
+"""``repro graphs`` — build/inspect/maintain the named graph registry.
+
+::
+
+    repro graphs build NAME [NAME ...] [--dir DIR] [--force] [--json PATH]
+    repro graphs ls     [--dir DIR]
+    repro graphs verify [--dir DIR] [--repair]
+    repro graphs gc     [--dir DIR]
+
+``--dir`` (or ``REPRO_GRAPH_DIR``) picks the registry root; the CLI
+falls back to ``~/.cache/repro/graphs``.  ``build`` is idempotent — a
+name whose current-fingerprint file already exists is reported as a
+``hit`` and costs one header read, no generation.  ``ls`` likewise only
+reads headers, so listing a directory of multi-GB graphs is instant.
+``verify`` re-hashes full payloads (the only check that catches payload
+bit-rot); ``gc`` removes stale-fingerprint files.
+
+``--json PATH`` on ``build`` writes a machine-readable summary — the CI
+registry gate asserts ``built == 0`` on the second invocation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+from repro._util import atomic_write_text, canonical_json
+from repro.graphstore.format import read_header
+from repro.graphstore.names import parse_graph_name
+from repro.graphstore.registry import (DEFAULT_GRAPH_DIR, GraphRegistry,
+                                       default_graph_dir)
+
+__all__ = ["main"]
+
+
+def _registry(args) -> GraphRegistry:
+    return GraphRegistry(args.dir or default_graph_dir() or DEFAULT_GRAPH_DIR)
+
+
+def _fmt_size(n_bytes: int) -> str:
+    value = float(n_bytes)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if value < 1024 or unit == "GiB":
+            return f"{value:.1f} {unit}" if unit != "B" else f"{int(value)} B"
+        value /= 1024
+    return f"{value:.1f} GiB"
+
+
+def _cmd_build(args) -> int:
+    registry = _registry(args)
+    for name in args.names:  # fail fast on any bad name before building
+        parse_graph_name(name)
+    built_count = hit_count = 0
+    graphs = {}
+    for name in args.names:
+        t0 = time.monotonic()
+        path, built = registry.build(name, force=args.force)
+        elapsed = time.monotonic() - t0
+        header = read_header(path)
+        size = os.stat(path).st_size
+        if built:
+            built_count += 1
+        else:
+            hit_count += 1
+        graphs[name] = {
+            "path": path, "built": built,
+            "n_vertices": header.n_vertices,
+            "n_directed_entries": header.n_indices,
+            "size_bytes": size,
+        }
+        verb = "built" if built else "hit  "
+        print(f"{verb} {name:<16} |V|={header.n_vertices:<10} "
+              f"entries={header.n_indices:<11} {_fmt_size(size):<10} "
+              f"({elapsed:.2f}s)  {path}")
+    print(f"{built_count} built, {hit_count} hit")
+    if args.json:
+        atomic_write_text(args.json, canonical_json(
+            {"built": built_count, "hits": hit_count, "graphs": graphs}))
+    return 0
+
+
+def _cmd_ls(args) -> int:
+    registry = _registry(args)
+    entries = registry.entries()
+    if not entries:
+        print(f"no graphs under {registry.root}")
+        return 0
+    print(f"{'NAME':<16} {'|V|':>10} {'ENTRIES':>11} {'SIZE':>9} "
+          f"{'AGE':>8}  {'FP':<16} CUR")
+    for entry in entries:
+        age = f"{entry.age_seconds / 3600:.1f}h"
+        print(f"{entry.name:<16} {entry.n_vertices:>10} "
+              f"{entry.n_directed_entries:>11} "
+              f"{_fmt_size(entry.size_bytes):>9} {age:>8}  "
+              f"{entry.fingerprint:<16} {'yes' if entry.current else 'no'}")
+    print(f"{len(entries)} graph(s) under {registry.root}")
+    return 0
+
+
+def _cmd_verify(args) -> int:
+    registry = _registry(args)
+    report = registry.verify(repair=args.repair)
+    print(f"checked {report.checked}, ok {report.ok}, "
+          f"corrupt {len(report.corrupt)}, "
+          f"quarantined {len(report.quarantined)}")
+    for path in report.quarantined:
+        print(f"quarantined: {path}")
+    for path in report.corrupt:
+        print(f"CORRUPT: {path}")
+    return 0 if report.clean else 1
+
+
+def _cmd_gc(args) -> int:
+    registry = _registry(args)
+    removed, kept = registry.gc()
+    print(f"removed {removed} stale graph(s), kept {kept}")
+    return 0
+
+
+def main(argv=None) -> int:
+    """Entry point for ``repro graphs`` (returns the exit code)."""
+    parser = argparse.ArgumentParser(
+        prog="repro graphs",
+        description="Named graph registry: build-once, mmap-forever "
+                    ".rgr graph files.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    build = sub.add_parser("build", help="build (or confirm) named graphs")
+    build.add_argument("names", nargs="+", metavar="NAME",
+                       help="registry names, e.g. suite:ldoor tube:1m "
+                            "rmat:s18")
+    build.add_argument("--dir", default=None, metavar="DIR",
+                       help="registry root (default $REPRO_GRAPH_DIR or "
+                            f"{DEFAULT_GRAPH_DIR})")
+    build.add_argument("--force", action="store_true",
+                       help="rebuild even when a current file exists")
+    build.add_argument("--json", default=None, metavar="PATH",
+                       help="write a machine-readable build summary")
+    build.set_defaults(func=_cmd_build)
+
+    ls = sub.add_parser("ls", help="list registry contents (header reads "
+                                   "only — no generation)")
+    ls.add_argument("--dir", default=None, metavar="DIR")
+    ls.set_defaults(func=_cmd_ls)
+
+    verify = sub.add_parser("verify",
+                            help="full payload integrity audit")
+    verify.add_argument("--dir", default=None, metavar="DIR")
+    verify.add_argument("--repair", action="store_true",
+                        help="move corrupt files to quarantine/")
+    verify.set_defaults(func=_cmd_verify)
+
+    gc = sub.add_parser("gc", help="remove stale-fingerprint graphs")
+    gc.add_argument("--dir", default=None, metavar="DIR")
+    gc.set_defaults(func=_cmd_gc)
+
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,150 @@
+"""Registry graph names: parsing and parameter fingerprints.
+
+A registry name is ``<family>:<variant>``:
+
+``suite:<graph>``
+    One of the seven paper-suite analogs (``suite:ldoor``), built with
+    the exact :class:`~repro.graph.suite.SuiteSpec` parameters — the
+    registry copy is structurally identical to an in-process
+    :func:`~repro.graph.suite.suite_graph` build.
+``tube:<size>``
+    A scaled tube mesh for the million-vertex regime (``tube:1m``,
+    ``tube:250k``, ``tube:2000000``): section ``≈ sqrt(n)`` so BFS depth
+    and per-level width grow together, with fixed clique/coupling so
+    colour counts stay comparable across sizes.
+``rmat:s<scale>[e<edge_factor>]``
+    Graph500-style R-MAT (``rmat:s20`` = 2^20 vertices, edge factor 16).
+
+Entries are keyed on disk by ``fingerprint()`` — a hash of the
+*generator parameters* plus explicit schema/format version constants,
+**not** the repo-wide code fingerprint the campaign store uses.  Graph
+files are large and expensive; invalidating them on every unrelated
+source edit would defeat the cache.  Bump
+:data:`GENERATOR_SCHEMA_VERSION` when a generator's output for the same
+parameters changes.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro._util import canonical_json, sha256_hex
+from repro.graph.csr import CSRGraph
+from repro.graphstore.format import FORMAT_VERSION
+
+__all__ = ["GraphSpec", "parse_graph_name", "GENERATOR_SCHEMA_VERSION"]
+
+#: Bump when generator output changes for identical parameters.
+GENERATOR_SCHEMA_VERSION = 1
+
+_SIZE_RE = re.compile(r"^(\d+(?:\.\d+)?)([km]?)$")
+_RMAT_RE = re.compile(r"^s(\d+)(?:e(\d+))?$")
+_MAX_VERTICES = 100_000_000
+
+
+@dataclass(frozen=True)
+class GraphSpec:
+    """A parsed registry name: generator kind + frozen parameters."""
+
+    name: str   # canonical registry name, e.g. "suite:ldoor"
+    kind: str   # "tube_mesh" | "rmat"
+    params: tuple[tuple[str, int | float], ...]
+
+    def params_dict(self) -> dict:
+        return dict(self.params)
+
+    def fingerprint(self) -> str:
+        """16-hex key of (kind, params, schema/format versions)."""
+        return sha256_hex(canonical_json({
+            "kind": self.kind,
+            "params": self.params_dict(),
+            "generator_schema": GENERATOR_SCHEMA_VERSION,
+            "format": FORMAT_VERSION,
+        }))[:16]
+
+    def build(self) -> CSRGraph:
+        """Generate the graph (streaming; bounded memory)."""
+        params = self.params_dict()
+        if self.kind == "tube_mesh":
+            from repro.graph.generators import tube_mesh
+            return tube_mesh(name=self.name, **params)
+        if self.kind == "rmat":
+            from repro.graph.generators import rmat
+            return rmat(name=self.name, **params)
+        raise ValueError(f"unknown generator kind {self.kind!r}")
+
+
+def _parse_size(token: str, name: str) -> int:
+    match = _SIZE_RE.match(token)
+    if not match:
+        raise ValueError(f"bad graph size {token!r} in {name!r} "
+                         f"(expected e.g. 250k, 1m, or a vertex count)")
+    value = float(match.group(1)) * {"": 1, "k": 1_000, "m": 1_000_000}[
+        match.group(2)]
+    n = int(round(value))
+    if not 1 <= n <= _MAX_VERTICES:
+        raise ValueError(f"graph size {n} out of range [1, {_MAX_VERTICES}]")
+    return n
+
+
+def _tube_params(n: int) -> tuple[tuple[str, int | float], ...]:
+    """The canonical scaled-tube family (see module docstring)."""
+    section = max(32, min(n, int(round(n ** 0.5))))
+    return (
+        ("n", n),
+        ("section", section),
+        ("clique", min(8, section)),
+        ("cliques_per_vertex", 1.0),
+        ("coupling", 3),
+        ("hubs", max(4, n // 65_536)),
+        ("hub_degree", 64),
+        ("seed", 7),
+    )
+
+
+def parse_graph_name(name: str) -> GraphSpec:
+    """Parse a registry name into its :class:`GraphSpec`.
+
+    Raises :class:`ValueError` (never a bare :class:`KeyError`) on any
+    malformed or unknown name so CLI errors stay readable.
+    """
+    if ":" not in name:
+        raise ValueError(f"bad graph name {name!r} "
+                         f"(expected family:variant, e.g. suite:ldoor)")
+    family, _, variant = name.partition(":")
+    variant = variant.strip()
+    if family == "suite":
+        from repro.graph.suite import SUITE
+        if variant not in SUITE:
+            raise ValueError(f"unknown suite graph {variant!r}; "
+                             f"pick from {sorted(SUITE)}")
+        spec = SUITE[variant]
+        params = (("n", spec.n), ("section", spec.section),
+                  ("clique", spec.clique),
+                  ("cliques_per_vertex", spec.cliques_per_vertex),
+                  ("coupling", spec.coupling), ("hubs", spec.hubs),
+                  ("hub_degree", spec.hub_degree), ("seed", spec.seed))
+        return GraphSpec(name=f"suite:{variant}", kind="tube_mesh",
+                         params=params)
+    if family == "tube":
+        n = _parse_size(variant, name)
+        return GraphSpec(name=f"tube:{variant}", kind="tube_mesh",
+                         params=_tube_params(n))
+    if family == "rmat":
+        match = _RMAT_RE.match(variant)
+        if not match:
+            raise ValueError(f"bad rmat variant {variant!r} in {name!r} "
+                             f"(expected e.g. rmat:s20 or rmat:s18e8)")
+        scale = int(match.group(1))
+        if not 1 <= scale <= 26:
+            raise ValueError(f"rmat scale {scale} out of range [1, 26]")
+        edge_factor = int(match.group(2) or 16)
+        if not 1 <= edge_factor <= 64:
+            raise ValueError(f"rmat edge factor {edge_factor} "
+                             f"out of range [1, 64]")
+        return GraphSpec(name=f"rmat:{variant}", kind="rmat",
+                        params=(("scale", scale),
+                                ("edge_factor", edge_factor), ("seed", 1)))
+    raise ValueError(f"unknown graph family {family!r} in {name!r} "
+                     f"(known: suite, tube, rmat)")

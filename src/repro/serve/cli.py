@@ -31,8 +31,10 @@ __all__ = ["main"]
 
 
 def _cmd_start(args) -> int:
+    import os
+
     from repro.campaign.store import DEFAULT_STORE_ROOT, default_store_root
-    from repro.serve.config import ServeConfig
+    from repro.serve.config import ServeConfig, serve_graph_dir
     from repro.serve.http import serve
     from repro.serve.service import CampaignService
     from repro.serve.shards import ShardedResultStore
@@ -41,6 +43,11 @@ def _cmd_start(args) -> int:
                                   jobs=args.jobs, quota=args.quota,
                                   cache_size=args.cache, shards=args.shards,
                                   retain=args.retain)
+    if args.graph_dir:
+        # Propagated through the environment so campaign worker forks
+        # resolve suite graphs through the same registry.
+        os.environ["REPRO_GRAPH_DIR"] = args.graph_dir
+    graph_dir = serve_graph_dir()
     root = args.store or default_store_root() or DEFAULT_STORE_ROOT
     store = ShardedResultStore(root, shards=config.shards,
                                cache_size=config.cache_size)
@@ -55,6 +62,8 @@ def _cmd_start(args) -> int:
         print(f"repro serve: store {store.root} "
               f"({store.n_shards} shards, cache {store.cache.capacity})",
               flush=True)
+        if graph_dir:
+            print(f"repro serve: graph registry {graph_dir}", flush=True)
 
     service = service_factory()
     try:
@@ -171,6 +180,10 @@ def main(argv=None) -> int:
                          help="finished jobs kept in memory and through "
                               "journal compaction (default "
                               "REPRO_SERVE_RETAIN; 0 = keep all)")
+    start_p.add_argument("--graph-dir", default=None, metavar="DIR",
+                         help="graph registry root (sets REPRO_GRAPH_DIR; "
+                              "suite graphs are built once and "
+                              "memory-mapped by every dispatch batch)")
 
     submit_p = sub.add_parser("submit", help="POST a campaign spec")
     submit_p.add_argument("spec", help="campaign spec JSON file")

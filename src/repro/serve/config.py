@@ -15,7 +15,7 @@ from repro._util import env_int, env_str
 
 __all__ = ["ServeConfig", "serve_host", "serve_port", "serve_url",
            "serve_jobs", "serve_quota", "serve_cache_size", "serve_shards",
-           "serve_retain", "DEFAULT_PORT"]
+           "serve_retain", "serve_graph_dir", "DEFAULT_PORT"]
 
 #: Default TCP port (an unassigned IANA port; override with
 #: ``REPRO_SERVE_PORT`` or ``--port``; 0 = pick a free ephemeral port).
@@ -98,6 +98,17 @@ def serve_retain() -> int:
     """
     value = env_int("REPRO_SERVE_RETAIN", 512, lo=0)
     return 512 if value is None else value
+
+
+def serve_graph_dir() -> str | None:
+    """Graph-registry root from ``REPRO_GRAPH_DIR`` (None = disabled).
+
+    When set, every suite graph the dispatch loop (and its worker
+    forks) touches resolves through :mod:`repro.graphstore`: one
+    ``.rgr`` file on disk, memory-mapped read-only by every batch
+    instead of regenerated per process.
+    """
+    return env_str("REPRO_GRAPH_DIR")
 
 
 @dataclass(frozen=True)

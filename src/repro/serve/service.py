@@ -725,9 +725,26 @@ class CampaignService:
                          "retries": self.retries,
                          "rate_cells_per_second": self._rate},
             "store": store_block,
+            "graphs": self._graphs_block(),
             "journal": {"path": self._journal.path
                         if self._journal is not None else None},
         }
+
+    @staticmethod
+    def _graphs_block() -> dict | None:
+        """Graph-registry health (None when ``REPRO_GRAPH_DIR`` unset).
+
+        ``count_objects`` is a single listdir — cheap enough to poll —
+        and the stats come from the process-wide registry the dispatch
+        path shares, so warm traffic shows up as mmap hits here.
+        """
+        from repro.graphstore.registry import registry_from_env
+        registry = registry_from_env()
+        if registry is None:
+            return None
+        return {"root": registry.root,
+                "objects": registry.count_objects(),
+                **registry.stats.to_dict()}
 
     # ----- drain -----------------------------------------------------------
 

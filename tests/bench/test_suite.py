@@ -28,10 +28,14 @@ def fake_entry(suite="campaign", median=1.0, stamp=0.0):
 
 class TestRegistry:
     def test_expected_suites(self):
-        assert suite_names() == ["campaign", "figs", "kernels", "serve"]
+        assert suite_names() == ["campaign", "figs", "graphs", "kernels",
+                                 "serve"]
 
     def test_serve_suite_covers_cold_and_warm_paths(self):
         assert SUITES["serve"] == ["serve-submit", "serve-warm-hits"]
+
+    def test_graphs_suite_covers_cold_and_warm_paths(self):
+        assert SUITES["graphs"] == ["graphs-cold-build", "graphs-warm-load"]
 
     def test_figs_suite_covers_all_four_figures(self):
         assert SUITES["figs"] == ["fig1", "fig2", "fig3", "fig4"]
