@@ -238,6 +238,9 @@ def run_chaos(spec, *, jobs: int = 2, kills: int = 1, hangs: int = 1,
         path = chaos_store._path(chaos_store.key(cell.to_dict()))
         if not os.path.isfile(path):
             return  # a failed/NaN cell is never stored
+        # repro: ignore[crash-bare-write] deliberate fault injection:
+        # the chaos harness corrupts a stored object in place to prove
+        # the store's recovery path detects and repairs it.
         with open(path, "r+", encoding="utf-8") as fh:
             fh.truncate(max(0, os.path.getsize(path) // 2))
         report.truncated.append(path)

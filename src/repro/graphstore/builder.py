@@ -33,6 +33,7 @@ import os
 import tempfile
 
 import numpy as np
+import numpy.typing as npt
 
 from repro._util import env_int
 from repro.graph.csr import CSRGraph
@@ -78,30 +79,31 @@ class StreamingCSRBuilder:
 
     # ----- ingest ----------------------------------------------------------
 
-    def add_edges(self, u, v) -> None:
+    def add_edges(self, u: "npt.ArrayLike", v: "npt.ArrayLike") -> None:
         """Add undirected edges ``{u[i], v[i]}``; self-loops are dropped."""
         if self._finalized:
             raise RuntimeError("builder already finalized")
-        u = np.asarray(u, dtype=np.int64).ravel()
-        v = np.asarray(v, dtype=np.int64).ravel()
-        if u.shape != v.shape:
-            raise ValueError(f"u/v length mismatch: {u.shape} vs {v.shape}")
-        if u.size == 0:
+        src = np.asarray(u, dtype=np.int64).ravel()
+        dst = np.asarray(v, dtype=np.int64).ravel()
+        if src.shape != dst.shape:
+            raise ValueError(
+                f"u/v length mismatch: {src.shape} vs {dst.shape}")
+        if src.size == 0:
             return
-        lo = min(u.min(), v.min())
-        hi = max(u.max(), v.max())
+        lo = min(src.min(), dst.min())
+        hi = max(src.max(), dst.max())
         if lo < 0 or hi >= self.n_vertices:
             raise ValueError("edge endpoint out of range")
-        keep = u != v
+        keep = src != dst
         if not keep.all():
-            u, v = u[keep], v[keep]
-        if u.size == 0:
+            src, dst = src[keep], dst[keep]
+        if src.size == 0:
             return
-        both = np.empty((2 * u.size, 2), dtype=np.int32)
-        both[:u.size, 0] = u
-        both[:u.size, 1] = v
-        both[u.size:, 0] = v
-        both[u.size:, 1] = u
+        both = np.empty((2 * src.size, 2), dtype=np.int32)
+        both[:src.size, 0] = src
+        both[:src.size, 1] = dst
+        both[src.size:, 0] = dst
+        both[src.size:, 1] = src
         self._pending.append(both)
         self._pending_rows += len(both)
         if self._pending_rows >= self.block_edges:

@@ -25,6 +25,7 @@ import argparse
 import os
 import sys
 import time
+from typing import Sequence
 
 from repro._util import atomic_write_text, canonical_json
 from repro.graphstore.format import read_header
@@ -35,7 +36,7 @@ from repro.graphstore.registry import (DEFAULT_GRAPH_DIR, GraphRegistry,
 __all__ = ["main"]
 
 
-def _registry(args) -> GraphRegistry:
+def _registry(args: argparse.Namespace) -> GraphRegistry:
     return GraphRegistry(args.dir or default_graph_dir() or DEFAULT_GRAPH_DIR)
 
 
@@ -48,7 +49,7 @@ def _fmt_size(n_bytes: int) -> str:
     return f"{value:.1f} GiB"
 
 
-def _cmd_build(args) -> int:
+def _cmd_build(args: argparse.Namespace) -> int:
     registry = _registry(args)
     for name in args.names:  # fail fast on any bad name before building
         parse_graph_name(name)
@@ -81,7 +82,7 @@ def _cmd_build(args) -> int:
     return 0
 
 
-def _cmd_ls(args) -> int:
+def _cmd_ls(args: argparse.Namespace) -> int:
     registry = _registry(args)
     entries = registry.entries()
     if not entries:
@@ -99,7 +100,7 @@ def _cmd_ls(args) -> int:
     return 0
 
 
-def _cmd_verify(args) -> int:
+def _cmd_verify(args: argparse.Namespace) -> int:
     registry = _registry(args)
     report = registry.verify(repair=args.repair)
     print(f"checked {report.checked}, ok {report.ok}, "
@@ -112,14 +113,14 @@ def _cmd_verify(args) -> int:
     return 0 if report.clean else 1
 
 
-def _cmd_gc(args) -> int:
+def _cmd_gc(args: argparse.Namespace) -> int:
     registry = _registry(args)
     removed, kept = registry.gc()
     print(f"removed {removed} stale graph(s), kept {kept}")
     return 0
 
 
-def main(argv=None) -> int:
+def main(argv: Sequence[str] | None = None) -> int:
     """Entry point for ``repro graphs`` (returns the exit code)."""
     parser = argparse.ArgumentParser(
         prog="repro graphs",

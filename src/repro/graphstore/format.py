@@ -127,6 +127,8 @@ def save_graph(path: str | os.PathLike[str], graph: CSRGraph) -> str:
             fh.write(name_bytes + b"\0" * _pad(len(name_bytes)))
             fh.write(memoryview(indptr))
             fh.write(memoryview(indices))
+            fh.flush()
+            os.fsync(fh.fileno())
         os.replace(tmp, path)
     finally:
         if os.path.exists(tmp):

@@ -12,7 +12,12 @@ from typing import Iterator
 
 __all__ = ["add_parents", "parent", "ancestors", "same_expr",
            "import_bound_names", "walk_calls", "is_none_check",
-           "guards_with_not_none", "call_name", "const_str"]
+           "guards_with_not_none", "call_name", "const_str",
+           "HANDLE_NAMES", "handle_base"]
+
+#: Attribute/variable names that hold an observer or checker handle
+#: (None when no instrument is installed) — the observer-gating idiom.
+HANDLE_NAMES = ("trace", "_trace", "check", "_check", "tracer")
 
 _PARENT = "_repro_lint_parent"
 
@@ -79,6 +84,24 @@ def call_name(call: ast.Call) -> str | None:
         return call.func.id
     if isinstance(call.func, ast.Attribute):
         return call.func.attr
+    return None
+
+
+def handle_base(call: ast.Call) -> ast.expr | None:
+    """The observer/checker handle a hook call goes through, if any.
+
+    ``ctx.trace.span(...)`` → ``ctx.trace``; ``self._check.on_rmw(...)``
+    → ``self._check``; ``engine.check.on_barrier(...)`` →
+    ``engine.check``.  Plain names (``trace.end(...)``) match too.
+    """
+    func = call.func
+    if not isinstance(func, ast.Attribute):
+        return None
+    base = func.value
+    if isinstance(base, ast.Name) and base.id in HANDLE_NAMES:
+        return base
+    if isinstance(base, ast.Attribute) and base.attr in HANDLE_NAMES:
+        return base
     return None
 
 

@@ -17,10 +17,22 @@ from typing import Sequence
 
 from repro._util import atomic_write_text, canonical_json
 from repro.lint import baseline as baseline_mod
+from repro.lint import formats as formats_mod
 from repro.lint.engine import LintResult, lint_paths, rule_table
 from repro.lint.envdoc import render_env_md
 
-__all__ = ["main", "find_root"]
+__all__ = ["main", "find_root", "default_paths"]
+
+#: Directories linted when no paths are given, relative to the root.
+#: benchmarks/ and examples/ drive the public API and are held to the
+#: same invariants as the package itself (missing ones are skipped).
+DEFAULT_DIRS = (os.path.join("src", "repro"), "benchmarks", "examples")
+
+
+def default_paths(root: str) -> list[str]:
+    """The default lint targets that exist under *root*."""
+    out = [os.path.join(root, d) for d in DEFAULT_DIRS]
+    return [p for p in out if os.path.isdir(p)]
 
 
 def find_root(start: str | None = None) -> str:
@@ -42,8 +54,17 @@ def _build_parser() -> argparse.ArgumentParser:
                     "hygiene, observer gating, kernel footprints, "
                     "lock/barrier pairing.")
     parser.add_argument("paths", nargs="*",
-                        help="files/directories to lint "
-                             "(default: <root>/src/repro)")
+                        help="files/directories to lint (default: "
+                             "<root>/src/repro, benchmarks, examples)")
+    parser.add_argument("--format", dest="fmt", default="text",
+                        choices=formats_mod.FORMATS,
+                        help="report style: text (human), github "
+                             "(Actions annotations), sarif (2.1.0 "
+                             "document on stdout)")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="phase-1 worker processes (default: "
+                             "REPRO_LINT_JOBS, else min(8, cpus); "
+                             "output is identical for any value)")
     parser.add_argument("--root", default=None,
                         help="repo root (default: walk up to "
                              "pyproject.toml)")
@@ -105,7 +126,7 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     root = os.path.abspath(args.root) if args.root else find_root()
     paths = [os.path.abspath(p) for p in args.paths] \
-        or [os.path.join(root, "src", "repro")]
+        or default_paths(root)
 
     baseline_path: str | None
     if args.no_baseline:
@@ -128,7 +149,7 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     start = time.perf_counter()
     result = lint_paths(paths, root=root, baseline_path=baseline_path,
-                        env_doc_path=env_doc)
+                        env_doc_path=env_doc, jobs=args.jobs)
     elapsed = time.perf_counter() - start
 
     if args.write_env_md is not None:
@@ -175,7 +196,13 @@ def main(argv: Sequence[str] | None = None) -> int:
               f"{len(kept)} kept")
         return 0
 
-    _print_report(result, elapsed, args.quiet)
+    if args.fmt == "sarif":
+        sys.stdout.write(formats_mod.format_sarif(result))
+    elif args.fmt == "github":
+        sys.stdout.write(formats_mod.format_github(result))
+        _print_report(result, elapsed, quiet=True)
+    else:
+        _print_report(result, elapsed, args.quiet)
     return 0 if result.ok else 1
 
 

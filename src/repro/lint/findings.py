@@ -6,7 +6,8 @@ from dataclasses import dataclass, field
 
 from repro._util import sha256_hex
 
-__all__ = ["SEV_ERROR", "SEV_WARNING", "SEVERITIES", "Finding"]
+__all__ = ["SEV_ERROR", "SEV_WARNING", "SEVERITIES", "ChainHop",
+           "Finding", "render_chain"]
 
 #: A finding that fails ``repro lint`` (exit 1) unless suppressed inline
 #: or grandfathered in the committed baseline.
@@ -15,6 +16,32 @@ SEV_ERROR = "error"
 SEV_WARNING = "warning"
 
 SEVERITIES = (SEV_ERROR, SEV_WARNING)
+
+
+@dataclass(frozen=True)
+class ChainHop:
+    """One hop of call-chain evidence on a cross-module finding.
+
+    Hops run from the anchor function down to the concrete offending
+    site; each is a suppression point — an inline
+    ``# repro: ignore[...]`` at any hop's line silences the finding, so
+    a protocol exception can be documented at whichever end owns the
+    decision (the caller that accepts blocking, or the helper whose
+    write is bookkeeping).
+    """
+
+    path: str        # repo-root-relative, posix separators
+    line: int        # 1-based
+    note: str = ""   # human label, e.g. "handle → route" or "os.listdir"
+
+
+def render_chain(chain: tuple[ChainHop, ...]) -> str:
+    """``a → b → c`` evidence text with trailing locations."""
+    if not chain:
+        return ""
+    notes = " → ".join(h.note or f"{h.path}:{h.line}" for h in chain)
+    locs = " → ".join(f"{h.path}:{h.line}" for h in chain)
+    return f"{notes} [{locs}]"
 
 
 @dataclass
@@ -40,6 +67,11 @@ class Finding:
     suppress_reason: str = ""
     baselined: bool = False
     fingerprint: str = field(default="", compare=False)
+    #: Cross-module evidence, anchor-first.  Excluded from the
+    #: fingerprint on purpose: the anchor (rule + path + snippet) stays
+    #: stable when a *callee* moves between files, so baselines survive
+    #: refactors of helpers.
+    chain: tuple[ChainHop, ...] = ()
 
     def __post_init__(self) -> None:
         if self.severity not in SEVERITIES:
@@ -73,4 +105,6 @@ class Finding:
             "fingerprint": self.fingerprint,
             "suppressed": self.suppressed,
             "baselined": self.baselined,
+            "chain": [{"path": h.path, "line": h.line, "note": h.note}
+                      for h in self.chain],
         }

@@ -18,13 +18,16 @@ from __future__ import annotations
 
 import ast
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Iterator
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator
 
 from repro.lint.findings import SEVERITIES, Finding
 
+if TYPE_CHECKING:                    # circular-import-free annotations
+    from repro.lint.index import FilePayload, ProjectIndex
+
 __all__ = ["ModuleContext", "Project", "EnvUse", "Rule", "rule",
-           "finalizer", "all_rules", "rule_ids", "SIM_SCOPE",
-           "KERNEL_SCOPE", "ALL_SCOPE"]
+           "finalizer", "index_rule", "all_rules", "rule_ids",
+           "SIM_SCOPE", "KERNEL_SCOPE", "ALL_SCOPE"]
 
 #: The deterministic core: everything that executes inside a simulated
 #: run, where wall-clock reads or unseeded RNG would break byte-stable
@@ -55,7 +58,10 @@ class Project:
     root: str
     env_doc_path: str | None = None
     env_uses: list[EnvUse] = field(default_factory=list)
-    modules: list["ModuleContext"] = field(default_factory=list)
+    modules: list["FilePayload"] = field(default_factory=list)
+    #: The whole-program view (:class:`repro.lint.index.ProjectIndex`),
+    #: populated by the engine before index rules and finalizers run.
+    index: "ProjectIndex | None" = None
 
     def env_registry(self) -> dict[str, dict[str, list[str]]]:
         """The machine-readable env-var registry: one entry per variable,
@@ -112,6 +118,8 @@ class ModuleContext:
 
 CheckFn = Callable[[ModuleContext], Iterator[Finding]]
 FinalizeFn = Callable[[Project], Iterator[Finding]]
+#: Cross-module rule: runs once over (ProjectIndex, Project).
+IndexRuleFn = Callable[["ProjectIndex", Project], Iterator[Finding]]
 
 
 @dataclass
@@ -133,6 +141,7 @@ class Rule:
 
 RULES: dict[str, Rule] = {}
 FINALIZERS: list[FinalizeFn] = []
+INDEX_RULES: list[IndexRuleFn] = []
 
 
 def rule(rule_id: str, severity: str, description: str,
@@ -162,6 +171,17 @@ def declare_rule(rule_id: str, severity: str, description: str) -> None:
 def finalizer(fn: FinalizeFn) -> FinalizeFn:
     """Register a project-wide pass that runs after all modules."""
     FINALIZERS.append(fn)
+    return fn
+
+
+def index_rule(fn: IndexRuleFn) -> IndexRuleFn:
+    """Register a whole-program rule over the merged project index.
+
+    Index rules run in the parent process after every per-file payload
+    has been merged (phase 2); the finding ids they emit must have been
+    declared with :func:`declare_rule`.
+    """
+    INDEX_RULES.append(fn)
     return fn
 
 

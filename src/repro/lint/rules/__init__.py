@@ -5,8 +5,11 @@ engine triggers the import lazily via
 :func:`repro.lint.registry.all_rules`.
 """
 
-from repro.lint.rules import (determinism, env_hygiene, footprints, locks,
-                              observer_gating)
+from repro.lint.rules import (asyncio_hygiene, crash_safety, determinism,
+                              env_hygiene, footprints, locks,
+                              observer_gating, observer_transitive,
+                              static_footprints)
 
-__all__ = ["determinism", "env_hygiene", "footprints", "locks",
-           "observer_gating"]
+__all__ = ["asyncio_hygiene", "crash_safety", "determinism",
+           "env_hygiene", "footprints", "locks", "observer_gating",
+           "observer_transitive", "static_footprints"]

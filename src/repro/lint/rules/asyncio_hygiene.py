@@ -1,0 +1,125 @@
+"""Asyncio hygiene: no blocking I/O statically reachable from the loop.
+
+A single synchronous ``os.listdir`` or journal ``fsync`` inside a
+:mod:`repro.serve` coroutine stalls *every* concurrent client — the
+whole point of the PR 8 service design was that batch compute runs in
+an executor and the event loop only shuffles queues.  This rule walks
+the project call graph from every ``async def`` in ``repro/serve/``
+and reports the first blocking effect on each path:
+
+* classified blocking calls (``time.sleep``, ``subprocess.*``,
+  ``shutil.*``, ``socket.*``, the mutating/walking subset of ``os.*``
+  — see :data:`repro.lint.effects.BLOCKING_OS_NAMES`);
+* any builtin ``open`` (sync file I/O blocks regardless of mode).
+
+``loop.run_in_executor(pool, fn, ...)`` escapes naturally: ``fn`` is
+an *argument* there, not a call, so no edge exists and nothing on the
+executor side is reachable.  Deliberate loop-thread blocking (startup
+journal replay before the server accepts traffic, durability-before-
+acknowledgement journal appends) carries inline suppressions — at the
+``async def``, at an intermediate hop, or at the blocking site itself,
+whichever end owns the decision.
+
+Findings anchor at the root ``async def`` line so their fingerprints
+survive refactors of the helpers they reach through.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.lint.callgraph import CallGraph, FnKey
+from repro.lint.effects import FunctionSummary, blocking_kind
+from repro.lint.findings import (SEV_ERROR, ChainHop, Finding,
+                                 render_chain)
+from repro.lint.index import ProjectIndex
+from repro.lint.registry import Project, declare_rule, index_rule
+
+__all__: list[str] = []
+
+#: Where coroutines are held to the no-blocking contract.
+ASYNC_SCOPE = ("repro/serve/",)
+
+#: Call-graph traversal depth cap (paths deeper than this are far past
+#: anything a human would call "statically reachable").
+_MAX_DEPTH = 10
+
+declare_rule("async-blocking", SEV_ERROR,
+             "blocking calls (sleep, sync file I/O, subprocess, store "
+             "walks) must not be statically reachable from repro.serve "
+             "coroutines except through run_in_executor; one blocking "
+             "hop stalls every concurrent client on the loop")
+
+
+def _blocking_sites(fn: FunctionSummary) -> list[tuple[int, str]]:
+    """Direct blocking effects of one function: (line, label)."""
+    sites = [(c.line, kind) for c in fn.calls
+             if (kind := blocking_kind(c)) is not None]
+    sites.extend((op.line, f"open({op.target}, {op.mode!r})")
+                 for op in fn.opens)
+    return sorted(set(sites))
+
+
+@index_rule
+def check_async_blocking(index: ProjectIndex,
+                         project: Project) -> Iterator[Finding]:
+    """BFS from each serve coroutine to the nearest blocking effects."""
+    roots: list[FnKey] = []
+    for relpath in sorted(index.modules):
+        if not any(frag in relpath for frag in ASYNC_SCOPE):
+            continue
+        mod = index.modules[relpath]
+        for qname in sorted(mod.functions):
+            if mod.functions[qname].is_async:
+                roots.append((relpath, qname))
+    if not roots:
+        return
+    graph = CallGraph(index)
+
+    for root in roots:
+        root_fn = index.function_at(root)
+        assert root_fn is not None
+        reported: set[tuple[str, int]] = set()
+        # Queue entries: (key, chain-of-call-hops); BFS finds shortest
+        # evidence first.
+        queue: list[tuple[FnKey, tuple[ChainHop, ...]]] = [(root, ())]
+        seen: set[FnKey] = {root}
+        depth = 0
+        while queue and depth <= _MAX_DEPTH:
+            next_queue: list[tuple[FnKey, tuple[ChainHop, ...]]] = []
+            for key, hops in queue:
+                fn = index.function_at(key)
+                if fn is None:
+                    continue
+                for line, label in _blocking_sites(fn):
+                    terminal = (key[0], line)
+                    if terminal in reported:
+                        continue
+                    reported.add(terminal)
+                    chain = (
+                        ChainHop(root[0], root_fn.line,
+                                 f"async def {root_fn.name}"),
+                        *hops,
+                        ChainHop(key[0], line, label))
+                    yield Finding(
+                        rule="async-blocking", path=root[0],
+                        line=root_fn.line,
+                        message=(
+                            f"blocking call {label} is statically "
+                            f"reachable from coroutine "
+                            f"'{root_fn.qname}'; move it behind "
+                            "run_in_executor or annotate why the loop "
+                            "may block here; chain: "
+                            f"{render_chain(chain)}"),
+                        chain=chain)
+                for call, target in graph.edges(key):
+                    if target in seen:
+                        continue
+                    tfn = index.function_at(target)
+                    if tfn is None:
+                        continue
+                    seen.add(target)
+                    next_queue.append((target, (*hops, ChainHop(
+                        key[0], call.line, tfn.qname))))
+            queue = next_queue
+            depth += 1

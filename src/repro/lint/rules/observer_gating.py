@@ -14,33 +14,16 @@ from __future__ import annotations
 import ast
 from typing import Iterator
 
-from repro.lint.astutil import guards_with_not_none, walk_calls
+from repro.lint.astutil import (HANDLE_NAMES, guards_with_not_none,
+                                handle_base, walk_calls)
 from repro.lint.findings import SEV_ERROR, Finding
 from repro.lint.registry import SIM_SCOPE, ModuleContext, rule
 
 __all__: list[str] = []
 
-#: Attribute/variable names that hold an observer or checker handle
-#: (None when no instrument is installed).
-HANDLE_NAMES = ("trace", "_trace", "check", "_check", "tracer")
-
-
-def _handle_base(call: ast.Call) -> ast.expr | None:
-    """The handle expression a hook call goes through, if any.
-
-    ``ctx.trace.span(...)`` → ``ctx.trace``; ``self._check.on_rmw(...)``
-    → ``self._check``; ``engine.check.on_barrier(...)`` →
-    ``engine.check``.  Plain names (``trace.end(...)``) match too.
-    """
-    func = call.func
-    if not isinstance(func, ast.Attribute):
-        return None
-    base = func.value
-    if isinstance(base, ast.Name) and base.id in HANDLE_NAMES:
-        return base
-    if isinstance(base, ast.Attribute) and base.attr in HANDLE_NAMES:
-        return base
-    return None
+# Back-compat aliases: the handle helpers moved to astutil so the
+# effect extractor can share them without importing the rules package.
+_handle_base = handle_base
 
 
 @rule("obs-ungated", SEV_ERROR,

@@ -1,0 +1,107 @@
+"""Observer gating, upgraded with the call graph (whole-program rule).
+
+The per-file ``obs-ungated`` rule enforces the "one ``is not None``
+comparison when off" telemetry contract inside the simulated core, but
+it cannot see a hot-path function delegating to a helper *outside*
+``SIM_SCOPE`` that touches an observer handle unguarded — the helper's
+module is out of scope, the caller's call is just a call.  This rule
+closes that hole: starting from every function in a ``SIM_SCOPE``
+module, walk call edges into out-of-scope modules and report paths
+that reach an ungated handle call, with the full chain as evidence.
+
+In-scope callees are deliberately not traversed: their ungated calls
+are already direct ``obs-ungated`` findings, and double-reporting the
+same site under two ids would force double suppressions.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.lint.callgraph import CallGraph, FnKey
+from repro.lint.findings import (SEV_ERROR, ChainHop, Finding,
+                                 render_chain)
+from repro.lint.index import ProjectIndex
+from repro.lint.registry import SIM_SCOPE, Project, declare_rule, \
+    index_rule
+
+__all__: list[str] = []
+
+_MAX_DEPTH = 6
+
+declare_rule("obs-ungated-transitive", SEV_ERROR,
+             "a simulated-core function calls an out-of-scope helper "
+             "that uses an observer/checker handle without the `is "
+             "not None` gate; the off path must stay one comparison "
+             "even across modules")
+
+
+def _in_sim_scope(relpath: str) -> bool:
+    return any(frag in relpath for frag in SIM_SCOPE)
+
+
+@index_rule
+def check_transitive_gating(index: ProjectIndex,
+                            project: Project) -> Iterator[Finding]:
+    """Walk SIM_SCOPE → out-of-scope call edges to ungated obs calls."""
+    sim_mods = [rel for rel in sorted(index.modules)
+                if _in_sim_scope(rel)]
+    if not sim_mods:
+        return
+    graph = CallGraph(index)
+
+    for relpath in sim_mods:
+        mod = index.modules[relpath]
+        for qname in sorted(mod.functions):
+            root: FnKey = (relpath, qname)
+            root_fn = mod.functions[qname]
+            reported: set[tuple[str, int]] = set()
+            queue: list[tuple[FnKey, tuple[ChainHop, ...]]] = []
+            seen: set[FnKey] = {root}
+            for call, target in graph.edges(root):
+                if _in_sim_scope(target[0]) or target in seen:
+                    continue
+                tfn = index.function_at(target)
+                if tfn is None:
+                    continue
+                seen.add(target)
+                queue.append((target, (ChainHop(
+                    relpath, call.line,
+                    f"{root_fn.qname} → {tfn.qname}"),)))
+            depth = 0
+            while queue and depth <= _MAX_DEPTH:
+                next_queue: list[tuple[FnKey,
+                                       tuple[ChainHop, ...]]] = []
+                for key, hops in queue:
+                    fn = index.function_at(key)
+                    if fn is None:
+                        continue
+                    for line, handle in fn.ungated_obs:
+                        terminal = (key[0], line)
+                        if terminal in reported:
+                            continue
+                        reported.add(terminal)
+                        chain = (*hops, ChainHop(
+                            key[0], line, f"{handle}.<hook>(...)"))
+                        yield Finding(
+                            rule="obs-ungated-transitive",
+                            path=relpath, line=hops[0].line,
+                            message=(
+                                f"'{root_fn.qname}' reaches an "
+                                f"ungated observer-handle call "
+                                f"({handle}) in an out-of-scope "
+                                "helper; gate the helper or hoist the "
+                                "null check to the hot path; chain: "
+                                f"{render_chain(chain)}"),
+                            chain=chain)
+                    for call, target in graph.edges(key):
+                        if _in_sim_scope(target[0]) or target in seen:
+                            continue
+                        tfn = index.function_at(target)
+                        if tfn is None:
+                            continue
+                        seen.add(target)
+                        next_queue.append((target, (*hops, ChainHop(
+                            key[0], call.line, tfn.qname))))
+                queue = next_queue
+                depth += 1

@@ -1,0 +1,126 @@
+"""Static AccessSet inference: the whole-program footprint rules.
+
+The per-file ``fp-undeclared-write`` rule only sees writes a function
+makes *itself*; a chunk body that delegates to a helper —
+``_replay(...)`` calling ``_wave_step(..., colors, ...)`` which does
+``colors[verts] = ...`` — slips past it, which is exactly the
+under-declared speculative access Rokos et al. (arXiv:1505.04086)
+identify as where coloring implementations go wrong.  These two rules
+close the gap over the project call graph:
+
+* ``fp-undeclared-write-transitive`` (error) — a function in an
+  AccessSet-declaring kernel module passes a parameter array to a
+  callee (any module, any depth) that subscript-writes it, and no
+  ``.writes(...)`` in the kernel module covers that array name.  The
+  finding anchors at the call site and carries the full chain down to
+  the concrete write.
+* ``fp-overbroad-footprint`` (warning) — a ``.writes("name", ...)``
+  declaration whose array is never written anywhere in the module,
+  directly or through any resolved callee: dead weight that makes the
+  race checker look stronger than it is.
+
+Both match arrays by *name* (the AccessSet convention: the declared
+label is the chunk-function parameter name) — a renamed pass-through
+parameter defeats the diff and is the documented imprecision here.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.lint.callgraph import CallGraph, Chain, infer_transitive_writes
+from repro.lint.findings import (SEV_ERROR, SEV_WARNING, ChainHop,
+                                 Finding, render_chain)
+from repro.lint.index import FilePayload, ProjectIndex
+from repro.lint.registry import Project, declare_rule, index_rule
+
+__all__: list[str] = []
+
+_KERNEL_FRAGMENT = "repro/kernels/"
+
+declare_rule("fp-undeclared-write-transitive", SEV_ERROR,
+             "a kernel function hands a parameter array to a helper "
+             "that writes it, but no AccessSet .writes(...) in the "
+             "kernel module declares the array — the race checker is "
+             "blind to it through the whole call chain")
+declare_rule("fp-overbroad-footprint", SEV_WARNING,
+             "an AccessSet declares .writes(...) on an array nothing "
+             "in the module writes (directly or through helpers); "
+             "over-broad footprints hide real gaps in checker "
+             "coverage")
+
+
+def _chain_hops(chain: Chain) -> tuple[ChainHop, ...]:
+    return tuple(ChainHop(path=p, line=ln, note=note)
+                 for p, ln, note in chain)
+
+
+@index_rule
+def check_transitive_footprints(index: ProjectIndex,
+                                project: Project) -> Iterator[Finding]:
+    """Diff transitively inferred parameter writes against each kernel
+    module's declared AccessSet write footprints."""
+    kernel_mods = [rel for rel in sorted(index.modules)
+                   if _KERNEL_FRAGMENT in rel
+                   and index.modules[rel].uses_access_sets]
+    if not kernel_mods:
+        return
+    graph = CallGraph(index)
+    inferred = infer_transitive_writes(index, graph)
+
+    for relpath in kernel_mods:
+        mod = index.modules[relpath]
+        declared = mod.declared_writes
+        written_names: set[str] = set()
+        for qname in sorted(mod.functions):
+            fn = mod.functions[qname]
+            writes = inferred.get((relpath, qname), {})
+            written_names.update(writes)
+            for name in sorted(writes):
+                chain = writes[name]
+                if len(chain) < 2:
+                    continue         # direct write: per-file rule's job
+                if name not in fn.params or name in declared:
+                    continue
+                anchor_line = chain[0][1]
+                yield Finding(
+                    rule="fp-undeclared-write-transitive",
+                    path=relpath, line=anchor_line,
+                    message=(
+                        f"'{qname}' passes parameter array '{name}' "
+                        f"down a call chain that writes it, but no "
+                        f"AccessSet in this module declares "
+                        f".writes({name!r}, ...); chain: "
+                        f"{render_chain(_chain_hops(chain))}"),
+                    chain=_chain_hops(chain))
+        for name in sorted(declared - written_names):
+            line = _declaration_line(project, relpath, name)
+            yield Finding(
+                rule="fp-overbroad-footprint", path=relpath, line=line,
+                severity=SEV_WARNING,
+                message=(
+                    f"AccessSet declares .writes({name!r}, ...) but "
+                    f"nothing in this module writes '{name}', directly "
+                    "or through any resolved helper; narrow the "
+                    "declaration or name the array after the parameter "
+                    "that carries it"))
+
+
+def _declaration_line(project: Project, relpath: str, name: str) -> int:
+    """Best-effort line of the ``.writes("name"`` declaration."""
+    payload = _payload_for(project, relpath)
+    if payload is None:
+        return 1
+    needles = (f'.writes("{name}"', f".writes('{name}'",
+               f'.benign_race("{name}"', f".benign_race('{name}'")
+    for i, text in enumerate(payload.lines, start=1):
+        if any(needle in text for needle in needles):
+            return i
+    return 1
+
+
+def _payload_for(project: Project, relpath: str) -> FilePayload | None:
+    for payload in project.modules:
+        if getattr(payload, "relpath", None) == relpath:
+            return payload
+    return None

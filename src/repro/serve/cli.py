@@ -112,6 +112,9 @@ def _cmd_submit(args) -> int:
             print(f"repro serve: results fetch failed ({status})",
                   file=sys.stderr)
             return 1
+        # repro: ignore[crash-bare-write] args.output is a user-chosen
+        # export path, not a store/journal object; a torn write here is
+        # the user's file to re-fetch, not service state to recover.
         with open(args.output, "wb") as out:
             out.write(raw)
         print(f"results -> {args.output}")

@@ -32,7 +32,9 @@ from __future__ import annotations
 
 import asyncio
 import json
+import threading
 import time
+from typing import Callable
 
 from repro.serve.queue import QuotaExceeded
 from repro.serve.service import (CampaignService, ServiceDraining,
@@ -47,7 +49,9 @@ class _BadRequest(Exception):
     """Malformed HTTP or JSON (mapped to 400)."""
 
 
-async def _read_request(reader: asyncio.StreamReader):
+async def _read_request(
+        reader: asyncio.StreamReader,
+) -> tuple[str, str, dict[str, str], bytes] | None:
     """Parse one request: ``(method, path, headers, body)``."""
     line = await reader.readline()
     if not line:
@@ -90,7 +94,7 @@ def _response(status: int, payload: bytes,
     return head.encode("latin-1") + payload
 
 
-def _json_body(status: int, document) -> tuple[int, bytes]:
+def _json_body(status: int, document: object) -> tuple[int, bytes]:
     return status, (json.dumps(document, sort_keys=True) + "\n") \
         .encode("utf-8")
 
@@ -238,6 +242,9 @@ class _Server:
                       job_id: str) -> int:
         """NDJSON per-cell progress stream for one job."""
         try:
+            # repro: ignore[async-blocking] service.job is an in-memory
+            # dict lookup; the Journal.job edge is unique-name fallback
+            # imprecision in the call graph (documented in DESIGN.md).
             job = self.service.job(job_id)
         except UnknownJob:
             writer.write(_response(
@@ -249,7 +256,7 @@ class _Server:
             b"Content-Type: application/x-ndjson\r\n"
             b"Connection: close\r\n\r\n")
 
-        def line(document) -> bytes:
+        def line(document: object) -> bytes:
             return (json.dumps(document, sort_keys=True) + "\n") \
                 .encode("utf-8")
 
@@ -274,8 +281,8 @@ class _Server:
             job.unwatch(queue)
 
 
-async def serve(service: CampaignService, host: str, port: int,
-                *, ready=None) -> None:
+async def serve(service: CampaignService, host: str, port: int, *,
+                ready: Callable[[str, int], None] | None = None) -> None:
     """Run the HTTP server until the service drains (or cancellation).
 
     *ready* (``callable(host, port)``) fires once the socket is bound —
@@ -307,14 +314,15 @@ class BackgroundServer:
     base URL, and drains the service + joins the thread on exit.
     """
 
-    def __init__(self, service_factory, host: str = "127.0.0.1"):
+    def __init__(self, service_factory: Callable[[], CampaignService],
+                 host: str = "127.0.0.1"):
         self._factory = service_factory
         self.host = host
         self.port: int | None = None
         self.service: CampaignService | None = None
-        self._thread = None
+        self._thread: threading.Thread | None = None
         self._loop: asyncio.AbstractEventLoop | None = None
-        self._ready = None
+        self._ready: threading.Event | None = None
         self._error: BaseException | None = None
 
     @property
@@ -322,33 +330,36 @@ class BackgroundServer:
         return f"http://{self.host}:{self.port}"
 
     def __enter__(self) -> str:
-        import threading
-        self._ready = threading.Event()
+        ready_evt = threading.Event()
+        self._ready = ready_evt
 
         def main() -> None:
             try:
                 asyncio.run(self._run())
             except BaseException as exc:  # noqa: BLE001 — surfaced on exit
                 self._error = exc
-                self._ready.set()
+                ready_evt.set()
 
         self._thread = threading.Thread(target=main, daemon=True,
                                         name="repro-serve")
         self._thread.start()
-        if not self._ready.wait(timeout=30) or self._error is not None:
+        if not ready_evt.wait(timeout=30) or self._error is not None:
             raise RuntimeError(
                 f"server failed to start: {self._error or 'timeout'}")
         return self.url
 
     async def _run(self) -> None:
         self._loop = asyncio.get_running_loop()
-        self.service = self._factory()
+        service = self._factory()
+        self.service = service
+        ready_evt = self._ready
+        assert ready_evt is not None     # set in __enter__
 
         def ready(host: str, port: int) -> None:
             self.port = port
-            self._ready.set()
+            ready_evt.set()
 
-        await serve(self.service, self.host, 0, ready=ready)
+        await serve(service, self.host, 0, ready=ready)
 
     def __exit__(self, *exc: object) -> None:
         loop, service = self._loop, self.service

